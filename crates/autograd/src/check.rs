@@ -1,0 +1,84 @@
+//! Central-difference gradient checking.
+//!
+//! `f32` arithmetic limits attainable precision, so the checker uses a
+//! relatively coarse step and tolerance; it reliably catches *structural*
+//! backward-rule errors (wrong transpose, missing term, bad reduction) which
+//! is what it exists for.
+
+use ist_tensor::Tensor;
+
+use crate::tape::{Tape, Var};
+
+/// Step used for central differences.
+pub const FD_EPS: f32 = 1e-2;
+/// Relative tolerance for comparing analytic vs numeric gradients.
+pub const FD_TOL: f32 = 3e-2;
+
+/// Builds `loss = f(tape, leaf_vars)` from `inputs`, computes analytic
+/// gradients via the tape, and compares them to central differences.
+///
+/// Panics (with a precise location) on any mismatch. Intended for tests.
+pub fn check_grads(inputs: &[Tensor], f: impl Fn(&Tape, &[Var]) -> Var) {
+    // Analytic gradients.
+    let tape = Tape::new();
+    let vars: Vec<Var> = inputs.iter().map(|t| tape.leaf(t.clone())).collect();
+    let loss = f(&tape, &vars);
+    let grads = tape.backward(&loss);
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let tape = Tape::new();
+        let vars: Vec<Var> = perturbed.iter().map(|t| tape.leaf(t.clone())).collect();
+        f(&tape, &vars).value().item()
+    };
+
+    for (i, input) in inputs.iter().enumerate() {
+        let analytic = grads[vars[i].id()]
+            .clone()
+            .unwrap_or_else(|| Tensor::zeros(input.shape()));
+        for j in 0..input.len() {
+            let mut plus: Vec<Tensor> = inputs.to_vec();
+            plus[i].data_mut()[j] += FD_EPS;
+            let mut minus: Vec<Tensor> = inputs.to_vec();
+            minus[i].data_mut()[j] -= FD_EPS;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * FD_EPS);
+            let a = analytic.data()[j];
+            let scale = 1.0f32.max(a.abs()).max(numeric.abs());
+            assert!(
+                (a - numeric).abs() <= FD_TOL * scale,
+                "gradient mismatch for input {i}, element {j}: analytic={a}, numeric={numeric}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_accepts_correct_gradient() {
+        // loss = Σ x² ⇒ grad 2x: exactly representable, should pass.
+        check_grads(&[Tensor::from_vec(vec![0.5, -1.25, 2.0], &[3])], |_, xs| {
+            crate::ops::sum_squares(&xs[0])
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn checker_rejects_wrong_gradient() {
+        // A deliberately wrong op: forward x², backward claims grad = x
+        // (missing the factor 2).
+        check_grads(&[Tensor::from_vec(vec![1.0, 2.0], &[2])], |tape, xs| {
+            let xv = xs[0].value();
+            let out = Tensor::scalar(xv.data().iter().map(|v| v * v).sum());
+            let bad = xv.clone();
+            tape.push_for_tests(
+                out,
+                vec![xs[0].id()],
+                Some(Box::new(move |g, _| {
+                    vec![Some(ist_tensor::ops::scale(&bad, g.item()))]
+                })),
+            )
+        });
+    }
+}

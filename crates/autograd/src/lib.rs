@@ -1,0 +1,29 @@
+//! # ist-autograd
+//!
+//! Reverse-mode automatic differentiation over [`ist_tensor::Tensor`].
+//!
+//! The design is a classic *tape*: every forward operation appends a node
+//! holding its result and a backward closure that maps the upstream gradient
+//! to gradients for each parent. Nodes are created in topological order, so
+//! the backward pass is a single reverse sweep over node ids.
+//!
+//! * [`Tape`] — the recording; cheap to create, dropped after each step.
+//! * [`Var`] — a handle to a node (cheap clone: id + `Rc` tape).
+//! * [`Param`] — a trainable tensor living *outside* the tape; registering it
+//!   on a tape yields a leaf [`Var`], and [`Tape::backward`] routes the leaf
+//!   gradient back into the parameter's `.grad` accumulator.
+//! * [`ops`] — differentiable primitives (arithmetic, matmul, gather, …).
+//! * [`fused`] — numerically fused ops with bespoke backward rules
+//!   (softmax, cross-entropy, layer-norm, cosine similarity, Gumbel top-λ
+//!   straight-through, …).
+//! * [`check`] — central-difference gradient checking used by the test
+//!   suite to validate every op.
+
+#![forbid(unsafe_code)]
+
+pub mod check;
+pub mod fused;
+pub mod ops;
+pub mod tape;
+
+pub use tape::{Param, Tape, Var};

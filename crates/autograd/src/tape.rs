@@ -1,0 +1,450 @@
+//! The gradient tape, variables and trainable parameters.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use ist_tensor::Tensor;
+
+/// Backward rule of one node: maps the upstream gradient to per-parent
+/// gradients. `needs[i]` tells the rule whether parent `i` actually requires
+/// a gradient, letting it skip dead computation; entries for parents with
+/// `needs[i] == false` may be `None`.
+pub type BackwardFn = Box<dyn Fn(&Tensor, &[bool]) -> Vec<Option<Tensor>>>;
+
+pub(crate) struct Node {
+    pub value: Tensor,
+    pub parents: Vec<usize>,
+    pub backward: Option<BackwardFn>,
+    pub requires_grad: bool,
+}
+
+struct TapeInner {
+    nodes: Vec<Node>,
+    /// `(param, leaf id)` registrations made through [`Param::leaf`].
+    param_hooks: Vec<(Param, usize)>,
+}
+
+/// A recording of a forward computation.
+///
+/// Create one per training step, run the forward pass through [`Var`]
+/// operations, call [`Tape::backward`] on the scalar loss, then drop it.
+#[derive(Clone)]
+pub struct Tape {
+    inner: Rc<RefCell<TapeInner>>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tape {
+    /// An empty tape.
+    pub fn new() -> Self {
+        Tape {
+            inner: Rc::new(RefCell::new(TapeInner {
+                nodes: Vec::new(),
+                param_hooks: Vec::new(),
+            })),
+        }
+    }
+
+    /// Number of recorded nodes (useful in tests / diagnostics).
+    pub fn len(&self) -> usize {
+        self.inner.borrow().nodes.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when both handles refer to the same recording.
+    pub fn same_as(&self, other: &Tape) -> bool {
+        Rc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    pub(crate) fn push(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        requires_grad: bool,
+    ) -> Var {
+        let mut inner = self.inner.borrow_mut();
+        let id = inner.nodes.len();
+        debug_assert!(
+            parents.iter().all(|&p| p < id),
+            "parents must precede children"
+        );
+        inner.nodes.push(Node {
+            value,
+            parents,
+            backward,
+            requires_grad,
+        });
+        Var {
+            id,
+            tape: self.clone(),
+        }
+    }
+
+    /// Records a leaf that participates in differentiation.
+    pub fn leaf(&self, value: Tensor) -> Var {
+        self.push(value, vec![], None, true)
+    }
+
+    /// Records a constant: no gradient flows into it.
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(value, vec![], None, false)
+    }
+
+    /// Records an op node with a mandatory backward rule (crate-internal
+    /// convenience over [`Tape::push`]).
+    pub(crate) fn push_node(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: BackwardFn,
+        requires_grad: bool,
+    ) -> Var {
+        self.push(value, parents, Some(backward), requires_grad)
+    }
+
+    /// Test-only escape hatch for recording a node with a hand-written
+    /// backward rule (used by the gradient checker's negative test).
+    #[doc(hidden)]
+    pub fn push_for_tests(
+        &self,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+    ) -> Var {
+        self.push(value, parents, backward, true)
+    }
+
+    pub(crate) fn value_of(&self, id: usize) -> Tensor {
+        self.inner.borrow().nodes[id].value.clone()
+    }
+
+    pub(crate) fn requires_grad_of(&self, id: usize) -> bool {
+        self.inner.borrow().nodes[id].requires_grad
+    }
+
+    pub(crate) fn register_param_hook(&self, param: &Param, id: usize) {
+        self.inner
+            .borrow_mut()
+            .param_hooks
+            .push((param.clone(), id));
+    }
+
+    /// Runs the reverse sweep from the scalar `loss` node and accumulates
+    /// gradients into every [`Param`] registered on this tape.
+    ///
+    /// Returns the gradients of all nodes (indexed by node id) so callers
+    /// can also inspect gradients of intermediate variables.
+    pub fn backward(&self, loss: &Var) -> Vec<Option<Tensor>> {
+        assert!(
+            Rc::ptr_eq(&self.inner, &loss.tape.inner),
+            "loss var belongs to another tape"
+        );
+        let inner = self.inner.borrow();
+        assert_eq!(
+            inner.nodes[loss.id].value.len(),
+            1,
+            "backward() requires a scalar loss, got shape {:?}",
+            inner.nodes[loss.id].value.shape()
+        );
+
+        let mut grads: Vec<Option<Tensor>> = vec![None; inner.nodes.len()];
+        grads[loss.id] = Some(Tensor::full(inner.nodes[loss.id].value.shape(), 1.0));
+
+        for id in (0..=loss.id).rev() {
+            let node = &inner.nodes[id];
+            let Some(grad) = grads[id].clone() else {
+                continue;
+            };
+            let Some(backward) = &node.backward else {
+                continue;
+            };
+            if !node.requires_grad {
+                continue;
+            }
+            let needs: Vec<bool> = node
+                .parents
+                .iter()
+                .map(|&p| inner.nodes[p].requires_grad)
+                .collect();
+            let parent_grads = backward(&grad, &needs);
+            debug_assert_eq!(parent_grads.len(), node.parents.len());
+            for (slot, g) in node.parents.iter().zip(parent_grads) {
+                let Some(g) = g else { continue };
+                if !inner.nodes[*slot].requires_grad {
+                    continue;
+                }
+                debug_assert_eq!(
+                    g.shape(),
+                    inner.nodes[*slot].value.shape(),
+                    "gradient shape mismatch flowing into node {slot}"
+                );
+                match &mut grads[*slot] {
+                    Some(acc) => ist_tensor::ops::add_assign(acc, &g),
+                    slot_ref @ None => *slot_ref = Some(g),
+                }
+            }
+        }
+
+        // Route leaf gradients back into registered parameters.
+        for (param, id) in &inner.param_hooks {
+            if let Some(g) = &grads[*id] {
+                param.accumulate_grad(g);
+            }
+        }
+        grads
+    }
+}
+
+/// A handle to a node on a [`Tape`].
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) id: usize,
+    pub(crate) tape: Tape,
+}
+
+impl Var {
+    /// The node's current value (cloned out of the tape).
+    pub fn value(&self) -> Tensor {
+        self.tape.value_of(self.id)
+    }
+
+    /// Shape of the node's value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.tape.inner.borrow().nodes[self.id]
+            .value
+            .shape()
+            .to_vec()
+    }
+
+    /// Whether gradients flow into this node.
+    pub fn requires_grad(&self) -> bool {
+        self.tape.requires_grad_of(self.id)
+    }
+
+    /// The tape this variable lives on.
+    pub fn tape(&self) -> &Tape {
+        &self.tape
+    }
+
+    /// Node id (for inspecting [`Tape::backward`]'s result vector).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// A gradient-stopped copy: same value, recorded as a constant.
+    pub fn detach(&self) -> Var {
+        self.tape.constant(self.value())
+    }
+}
+
+struct ParamInner {
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+/// A named trainable tensor with a gradient accumulator.
+///
+/// `Param` is shared (`Rc<RefCell<…>>`): layers keep clones, optimizers hold
+/// the canonical list. Registering the param on a [`Tape`] via
+/// [`Param::leaf`] makes it participate in that step's differentiation.
+#[derive(Clone)]
+pub struct Param {
+    inner: Rc<RefCell<ParamInner>>,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param {
+            inner: Rc::new(RefCell::new(ParamInner {
+                name: name.into(),
+                value,
+                grad,
+            })),
+        }
+    }
+
+    /// The parameter's name (diagnostics, serialisation keys).
+    pub fn name(&self) -> String {
+        self.inner.borrow().name.clone()
+    }
+
+    /// Clones the current value out.
+    pub fn value(&self) -> Tensor {
+        self.inner.borrow().value.clone()
+    }
+
+    /// Clones the accumulated gradient out.
+    pub fn grad(&self) -> Tensor {
+        self.inner.borrow().grad.clone()
+    }
+
+    /// Shape of the parameter.
+    pub fn shape(&self) -> Vec<usize> {
+        self.inner.borrow().value.shape().to_vec()
+    }
+
+    /// Number of scalar entries.
+    pub fn num_elements(&self) -> usize {
+        self.inner.borrow().value.len()
+    }
+
+    /// Registers the parameter on `tape` as a differentiable leaf and
+    /// returns the resulting variable. After `tape.backward(..)`, the leaf's
+    /// gradient is accumulated into this parameter.
+    pub fn leaf(&self, tape: &Tape) -> Var {
+        let var = tape.leaf(self.value());
+        tape.register_param_hook(self, var.id);
+        var
+    }
+
+    /// Adds `g` into the gradient accumulator.
+    pub fn accumulate_grad(&self, g: &Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        ist_tensor::ops::add_assign(&mut inner.grad, g);
+    }
+
+    /// Clears the gradient accumulator.
+    pub fn zero_grad(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let shape = inner.value.shape().to_vec();
+        inner.grad = Tensor::zeros(&shape);
+    }
+
+    /// Applies `f(value, grad)` mutably — the optimizer update hook.
+    pub fn update(&self, f: impl FnOnce(&mut Tensor, &Tensor)) {
+        let mut inner = self.inner.borrow_mut();
+        let grad = inner.grad.clone();
+        f(&mut inner.value, &grad);
+    }
+
+    /// Replaces the value (e.g. when loading a snapshot). The gradient is
+    /// reset to zeros of the new shape.
+    pub fn set_value(&self, value: Tensor) {
+        let mut inner = self.inner.borrow_mut();
+        inner.grad = Tensor::zeros(value.shape());
+        inner.value = value;
+    }
+}
+
+impl std::fmt::Debug for Param {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.borrow();
+        write!(
+            f,
+            "Param({:?}, shape {:?})",
+            inner.name,
+            inner.value.shape()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_constant_flags() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(1.0));
+        let c = tape.constant(Tensor::scalar(2.0));
+        assert!(a.requires_grad());
+        assert!(!c.requires_grad());
+        assert_eq!(tape.len(), 2);
+    }
+
+    #[test]
+    fn backward_through_simple_chain() {
+        // loss = sum(a * a) with a = [2, 3] ⇒ d loss/d a = 2a.
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![2.0, 3.0], &[2]));
+        let sq = crate::ops::mul(&a, &a);
+        let loss = crate::ops::sum_all(&sq);
+        let grads = tape.backward(&loss);
+        let ga = grads[a.id()].as_ref().unwrap();
+        assert_eq!(ga.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn param_grad_accumulates_across_steps() {
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, -1.0], &[2]));
+        for _ in 0..2 {
+            let tape = Tape::new();
+            let w = p.leaf(&tape);
+            let loss = crate::ops::sum_all(&crate::ops::mul(&w, &w));
+            tape.backward(&loss);
+        }
+        // Two backward passes, each contributing 2w.
+        assert_eq!(p.grad().data(), &[4.0, -4.0]);
+        p.zero_grad();
+        assert_eq!(p.grad().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn constants_block_gradient_flow() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(3.0));
+        let c = tape.constant(Tensor::scalar(5.0));
+        let prod = crate::ops::mul(&a, &c);
+        let loss = crate::ops::sum_all(&prod);
+        let grads = tape.backward(&loss);
+        assert_eq!(grads[a.id()].as_ref().unwrap().item(), 5.0);
+        assert!(grads[c.id()].is_none());
+    }
+
+    #[test]
+    fn detach_stops_gradients() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(3.0));
+        let d = a.detach();
+        let loss = crate::ops::sum_all(&crate::ops::mul(&a, &d));
+        let grads = tape.backward(&loss);
+        // d(a * detach(a))/da = detach(a) = 3, not 2a = 6.
+        assert_eq!(grads[a.id()].as_ref().unwrap().item(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar loss")]
+    fn non_scalar_loss_panics() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::zeros(&[2]));
+        tape.backward(&a);
+    }
+
+    #[test]
+    fn diamond_graph_accumulates() {
+        // loss = (a + a) summed ⇒ grad 2.
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::scalar(1.5));
+        let s = crate::ops::add(&a, &a);
+        let loss = crate::ops::sum_all(&s);
+        let grads = tape.backward(&loss);
+        assert_eq!(grads[a.id()].as_ref().unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn param_update_hook() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let tape = Tape::new();
+        let w = p.leaf(&tape);
+        let loss = crate::ops::sum_all(&crate::ops::mul(&w, &w));
+        tape.backward(&loss);
+        p.update(|v, g| {
+            // SGD with lr 0.1: w ← 1 - 0.1·2 = 0.8
+            ist_tensor::ops::axpy(v, -0.1, g);
+        });
+        assert!((p.value().item() - 0.8).abs() < 1e-6);
+    }
+}

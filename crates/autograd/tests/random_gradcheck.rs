@@ -1,0 +1,112 @@
+//! Randomised gradient checking: build random small computation graphs
+//! from the op vocabulary and verify the analytic gradients against
+//! central differences. This is the strongest single guard on the whole
+//! autodiff layer — any backward-rule regression in any op fails here.
+
+use ist_autograd::check::check_grads;
+use ist_autograd::{fused, ops, Var};
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::Tensor;
+use proptest::prelude::*;
+
+/// One unary transformation, chosen by `pick`.
+fn unary(pick: u8, v: &Var) -> Var {
+    match pick % 6 {
+        0 => ops::sigmoid(v),
+        1 => ops::tanh(v),
+        2 => ops::scale(v, 0.7),
+        3 => ops::add_scalar(v, 0.3),
+        4 => fused::softmax_lastdim(v),
+        _ => ops::neg(v),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_unary_chains_grad_check(seed in 0u64..10_000, picks in prop::collection::vec(0u8..12, 1..4)) {
+        let mut rng = SeedRng::seed(seed);
+        let x = uniform(&[3, 4], -1.5, 1.5, &mut rng);
+        let picks2 = picks.clone();
+        check_grads(&[x], move |_, xs| {
+            let mut v = xs[0].clone();
+            for &p in &picks2 {
+                v = unary(p, &v);
+            }
+            ops::sum_squares(&v)
+        });
+    }
+
+    #[test]
+    fn random_binary_combinations_grad_check(seed in 0u64..10_000, pick in 0u8..4) {
+        let mut rng = SeedRng::seed(seed);
+        let a = uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let b = uniform(&[3, 4], 0.5, 2.0, &mut rng); // positive: safe divisor
+        check_grads(&[a, b], move |_, xs| {
+            let v = match pick % 4 {
+                0 => ops::add(&xs[0], &xs[1]),
+                1 => ops::sub(&xs[0], &xs[1]),
+                2 => ops::mul(&xs[0], &xs[1]),
+                _ => ops::div(&xs[0], &xs[1]),
+            };
+            ops::sum_squares(&v)
+        });
+    }
+
+    #[test]
+    fn random_matmul_sandwiches_grad_check(seed in 0u64..10_000) {
+        let mut rng = SeedRng::seed(seed);
+        let a = uniform(&[2, 3], -1.0, 1.0, &mut rng);
+        let b = uniform(&[3, 4], -1.0, 1.0, &mut rng);
+        let c = uniform(&[4, 2], -1.0, 1.0, &mut rng);
+        check_grads(&[a, b, c], |_, xs| {
+            let ab = ops::matmul(&xs[0], &xs[1]);
+            let abc = ops::matmul(&ab, &xs[2]);
+            ops::sum_squares(&ops::tanh(&abc))
+        });
+    }
+
+    #[test]
+    fn random_ce_pipelines_grad_check(seed in 0u64..10_000) {
+        let mut rng = SeedRng::seed(seed);
+        let x = uniform(&[4, 5], -1.0, 1.0, &mut rng);
+        let w = uniform(&[5, 6], -1.0, 1.0, &mut rng);
+        let targets = vec![0usize, 3, 5, 2];
+        let weights = vec![1.0f32, 0.0, 1.0, 2.0];
+        check_grads(&[x, w], move |_, xs| {
+            let logits = ops::matmul(&xs[0], &xs[1]);
+            fused::cross_entropy_rows(&logits, &targets, &weights)
+        });
+    }
+
+    #[test]
+    fn random_layernorm_cosine_grad_check(seed in 0u64..10_000) {
+        let mut rng = SeedRng::seed(seed);
+        let x = uniform(&[3, 6], -1.0, 1.0, &mut rng);
+        let g = uniform(&[6], 0.5, 1.5, &mut rng);
+        let b = uniform(&[6], -0.5, 0.5, &mut rng);
+        let c = uniform(&[4, 6], -1.0, 1.0, &mut rng);
+        check_grads(&[x, g, b, c], |_, xs| {
+            let ln = fused::layer_norm_rows(&xs[0], &xs[1], &xs[2], 1e-5);
+            let sims = fused::cosine_similarity_rows(&ln, &xs[3]);
+            ops::sum_squares(&sims)
+        });
+    }
+}
+
+#[test]
+fn second_backward_on_fresh_tape_matches() {
+    // Rebuilding the same graph twice must give identical gradients — the
+    // tape has no hidden state.
+    let x = Tensor::from_vec(vec![0.5, -0.3, 1.2, 0.0, 2.0, -1.0], &[2, 3]);
+    let run = || {
+        let tape = ist_autograd::Tape::new();
+        let v = tape.leaf(x.clone());
+        let s = fused::softmax_lastdim(&ops::tanh(&v));
+        let loss = ops::sum_squares(&s);
+        let grads = tape.backward(&loss);
+        grads[v.id()].clone().unwrap()
+    };
+    assert_eq!(run().data(), run().data());
+}

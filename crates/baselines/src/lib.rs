@@ -1,0 +1,44 @@
+//! # ist-baselines
+//!
+//! The ten comparison methods of the paper's Table 2, all implementing
+//! [`isrec_core::SequentialRecommender`] on the same substrate as ISRec:
+//!
+//! | Model | Family | Module |
+//! |---|---|---|
+//! | PopRec | popularity | [`poprec`] |
+//! | BPR-MF | matrix factorisation + BPR | [`bprmf`] |
+//! | NCF | MLP collaborative filtering | [`ncf`] |
+//! | FPMC | MF × first-order Markov chain | [`fpmc`] |
+//! | GRU4Rec | session RNN, full softmax | [`gru4rec`] |
+//! | GRU4Rec+ | session RNN, BPR-max loss | [`gru4rec`] |
+//! | DGCF | disentangled (intention-aware) CF | [`dgcf`] |
+//! | Caser | convolutional high-order MC | [`caser`] |
+//! | SASRec | causal transformer (+concept variant) | [`sasrec`] |
+//! | BERT4Rec | bidirectional transformer, Cloze (+concept variant) | [`bert4rec`] |
+//!
+//! The `+concept` variants of SASRec/BERT4Rec (Table 5) add the same summed
+//! concept embeddings ISRec uses, isolating the contribution of the intent
+//! modules from the raw concept signal.
+
+#![forbid(unsafe_code)]
+
+pub mod bert4rec;
+pub mod bprmf;
+pub mod caser;
+pub mod common;
+pub mod dgcf;
+pub mod fpmc;
+pub mod gru4rec;
+pub mod ncf;
+pub mod poprec;
+pub mod sasrec;
+
+pub use bert4rec::Bert4Rec;
+pub use bprmf::BprMf;
+pub use caser::Caser;
+pub use dgcf::Dgcf;
+pub use fpmc::Fpmc;
+pub use gru4rec::{Gru4Rec, Gru4RecLoss};
+pub use ncf::Ncf;
+pub use poprec::PopRec;
+pub use sasrec::SasRec;

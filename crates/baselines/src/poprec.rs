@@ -1,0 +1,72 @@
+//! PopRec: rank items by global popularity (the paper's weakest baseline).
+
+use isrec_core::{SequentialRecommender, TrainConfig, TrainReport};
+use ist_data::{LeaveOneOut, SequentialDataset};
+
+use crate::common::train_popularity;
+
+/// Popularity recommender.
+#[derive(Default)]
+pub struct PopRec {
+    counts: Vec<usize>,
+}
+
+impl PopRec {
+    /// Untrained recommender (fit before scoring).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl SequentialRecommender for PopRec {
+    fn name(&self) -> String {
+        "PopRec".into()
+    }
+
+    fn fit(
+        &mut self,
+        dataset: &SequentialDataset,
+        split: &LeaveOneOut,
+        _train: &TrainConfig,
+    ) -> TrainReport {
+        self.counts = train_popularity(dataset, split);
+        TrainReport::default()
+    }
+
+    fn score_batch(
+        &self,
+        _users: &[usize],
+        histories: &[&[usize]],
+        candidates: &[&[usize]],
+    ) -> Vec<Vec<f32>> {
+        histories
+            .iter()
+            .zip(candidates)
+            .map(|(_, cands)| cands.iter().map(|&c| self.counts[c] as f32).collect())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_by_popularity() {
+        let ds = SequentialDataset {
+            name: "t".into(),
+            domain: ist_graph::lexicon::Domain::Movies,
+            sequences: vec![vec![0, 0, 1, 2], vec![0, 1]],
+            num_items: 3,
+            item_concepts: vec![vec![]; 3],
+            concept_graph: ist_graph::ConceptGraph::empty(0),
+            concept_names: vec![],
+        };
+        let split = LeaveOneOut::split(&ds.sequences);
+        let mut m = PopRec::new();
+        m.fit(&ds, &split, &TrainConfig::smoke());
+        let s = m.score(&[1], &[0, 1, 2]);
+        // Counts come from the training prefixes only: u0 → [0,0], u1 → [0].
+        assert_eq!(s, vec![3.0, 0.0, 0.0]);
+    }
+}

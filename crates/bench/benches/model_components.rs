@@ -1,0 +1,76 @@
+//! Criterion benchmarks validating the §3.8 complexity claims:
+//! attention cost grows ~quadratically in the sequence length `n`, the
+//! GCN transition cost is governed by the (small) concept count, and the
+//! per-concept lifting is one GEMM.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ist_graph::generators::concept_graph;
+use ist_graph::normalized_adjacency;
+use ist_nn::attention::{attention_mask, MultiHeadSelfAttention};
+use ist_nn::gcn::Gcn;
+use ist_nn::Ctx;
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+
+/// §3.8: self-attention is O(n²·d) — time several sequence lengths.
+fn bench_attention_vs_length(c: &mut Criterion) {
+    let d = 32;
+    let mut rng = SeedRng::seed(1);
+    let attn = MultiHeadSelfAttention::new("a", d, 2, &mut rng);
+    let mut group = c.benchmark_group("attention_seq_len");
+    for t in [10usize, 20, 40, 80] {
+        let b = 8;
+        let mask = attention_mask(b, t, &vec![false; b * t], true);
+        let mut rng2 = SeedRng::seed(2);
+        let x = uniform(&[b * t, d], -1.0, 1.0, &mut rng2);
+        group.bench_with_input(BenchmarkId::from_parameter(t), &t, |bch, _| {
+            bch.iter(|| {
+                let mut ctx = Ctx::eval();
+                let xv = ctx.tape.leaf(x.clone());
+                attn.forward(&mut ctx, black_box(&xv), b, t, &mask, 0.0)
+                    .value()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// §3.8: the GCN transition over K concepts (batched over positions).
+fn bench_gcn_vs_concepts(c: &mut Criterion) {
+    let dp = 8;
+    let mut group = c.benchmark_group("gcn_concepts");
+    for k in [16usize, 64, 256] {
+        let mut rng = SeedRng::seed(3);
+        let g = concept_graph(k, 4, 5.0, &mut rng);
+        let adj = normalized_adjacency(&g);
+        let gcn = Gcn::new("g", 2, dp, &mut rng);
+        let mut rng2 = SeedRng::seed(4);
+        let z = uniform(&[160, k, dp], -1.0, 1.0, &mut rng2);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bch, _| {
+            bch.iter(|| {
+                let ctx = Ctx::eval();
+                let zv = ctx.tape.leaf(z.clone());
+                gcn.forward(&ctx, black_box(&zv), &adj).value()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The grouped per-concept lifting (Eq. 8 as one GEMM): O(n·K·d·d').
+fn bench_concept_lifting(c: &mut Criterion) {
+    let (rows, d, k, dp) = (640usize, 32usize, 64usize, 8usize);
+    let mut rng = SeedRng::seed(5);
+    let x = uniform(&[rows, d], -1.0, 1.0, &mut rng);
+    let w = uniform(&[d, k * dp], -1.0, 1.0, &mut rng);
+    c.bench_function("concept_lift_640x32_to_64x8", |bch| {
+        bch.iter(|| ist_tensor::matmul::matmul(black_box(&x), black_box(&w)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_attention_vs_length,
+    bench_gcn_vs_concepts,
+    bench_concept_lifting
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the tensor substrate: GEMM scaling
+//! (validating the parallel path), batched bmm, softmax and broadcasting
+//! fast paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::{matmul, ops, reduce, Tensor};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [64usize, 128, 256] {
+        let mut rng = SeedRng::seed(1);
+        let a = uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = uniform(&[n, n], -1.0, 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| matmul::matmul(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(2);
+    let a = uniform(&[32, 20, 32], -1.0, 1.0, &mut rng);
+    let b = uniform(&[32, 32, 20], -1.0, 1.0, &mut rng);
+    c.bench_function("bmm_32x20x32", |bch| {
+        bch.iter(|| matmul::bmm(black_box(&a), black_box(&b)))
+    });
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(3);
+    let t = uniform(&[640, 900], -5.0, 5.0, &mut rng);
+    c.bench_function("softmax_rows_640x900", |bch| {
+        bch.iter(|| reduce::softmax_lastdim(black_box(&t)))
+    });
+}
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(4);
+    let m = uniform(&[640, 64, 8], -1.0, 1.0, &mut rng);
+    let gate = uniform(&[640, 64, 1], 0.0, 1.0, &mut rng);
+    let bias = uniform(&[8], -1.0, 1.0, &mut rng);
+    c.bench_function("broadcast_gate_640x64x8", |bch| {
+        bch.iter(|| ops::mul(black_box(&m), black_box(&gate)))
+    });
+    c.bench_function("broadcast_bias_640x64x8", |bch| {
+        bch.iter(|| ops::add(black_box(&m), black_box(&bias)))
+    });
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(5);
+    let x = uniform(&[640, 32], -1.0, 1.0, &mut rng);
+    let cc = uniform(&[64, 32], -1.0, 1.0, &mut rng);
+    c.bench_function("cosine_rows_640x64", |bch| {
+        bch.iter(|| reduce::cosine_similarity_rows(black_box(&x), black_box(&cc)))
+    });
+}
+
+fn bench_gather_scatter(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(6);
+    let table = uniform(&[1000, 32], -1.0, 1.0, &mut rng);
+    let idx: Vec<usize> = (0..640).map(|i| (i * 7) % 1000).collect();
+    c.bench_function("index_select_640_of_1000x32", |bch| {
+        bch.iter(|| table.index_select_rows(black_box(&idx)))
+    });
+    let src = uniform(&[640, 32], -1.0, 1.0, &mut rng);
+    c.bench_function("scatter_add_640_into_1000x32", |bch| {
+        bch.iter(|| {
+            let mut t = Tensor::zeros(&[1000, 32]);
+            t.scatter_add_rows(black_box(&idx), black_box(&src));
+            t
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_bmm,
+    bench_softmax,
+    bench_broadcast,
+    bench_cosine,
+    bench_gather_scatter
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of whole training epochs and of scoring: ISRec vs
+//! the deep baselines on identical data — the end-to-end counterpart of
+//! §3.8's per-module analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use isrec_core::{SequentialRecommender, TrainConfig};
+use ist_data::{IntentWorld, LeaveOneOut, WorldConfig};
+use ist_eval::ModelSpec;
+
+fn bench_training_steps(c: &mut Criterion) {
+    let ds = IntentWorld::new(WorldConfig::beauty_like().scaled(0.25)).generate(5);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let train = TrainConfig {
+        epochs: 1,
+        batch_size: 64,
+        ..Default::default()
+    };
+
+    let mut group = c.benchmark_group("one_epoch");
+    group.sample_size(10);
+    for spec in [
+        ModelSpec::Isrec,
+        ModelSpec::SasRec,
+        ModelSpec::Gru4Rec,
+        ModelSpec::Bert4Rec,
+    ] {
+        group.bench_function(spec.display_name(), |bch| {
+            bch.iter(|| {
+                let mut model = spec.build(&ds, 20);
+                model.fit(&ds, &split, &train)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scoring(c: &mut Criterion) {
+    let ds = IntentWorld::new(WorldConfig::beauty_like().scaled(0.25)).generate(5);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let train = TrainConfig {
+        epochs: 1,
+        batch_size: 64,
+        ..Default::default()
+    };
+    let mut model = ModelSpec::Isrec.build(&ds, 20);
+    model.fit(&ds, &split, &train);
+
+    let hist = split.test_history(0);
+    let cands: Vec<usize> = (0..ds.num_items.min(101)).collect();
+    let mut group = c.benchmark_group("isrec_scoring");
+    group.sample_size(20);
+    group.bench_function("single_user_101_candidates", |bch| {
+        bch.iter(|| model.score_batch(&[0], &[&hist], &[&cands]))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training_steps, bench_scoring);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Extra ablations of this implementation's documented design choices
+//! (DESIGN.md §5): residual decoder, relaxed vs straight-through gates,
+//! concept-tied output, and GCN depth — all on the Beauty-like world.
+
+use isrec_core::{Isrec, IsrecConfig, SequentialRecommender, TrainConfig};
+use ist_bench::worlds::{max_len_for, world, Scale};
+use ist_data::{LeaveOneOut, WorldConfig};
+use ist_eval::report::render_sweep;
+use ist_eval::{EvalProtocol, ProtocolConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ds = world(WorldConfig::beauty_like(), scale);
+    let max_len = max_len_for(&ds.name);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let proto = EvalProtocol::build(
+        &ds,
+        &split,
+        &ProtocolConfig {
+            max_users: scale.max_eval_users(),
+            ..Default::default()
+        },
+    );
+
+    let base = IsrecConfig {
+        max_len,
+        ..Default::default()
+    };
+    let variants: Vec<(&str, IsrecConfig)> = vec![
+        ("full (defaults)", base.clone()),
+        (
+            "hard straight-through gates",
+            IsrecConfig {
+                soft_intents: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no residual decoder",
+            IsrecConfig {
+                residual_decoder: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "no concept-tied output",
+            IsrecConfig {
+                tie_concept_output: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "1 GCN layer",
+            IsrecConfig {
+                gcn_layers: 1,
+                ..base.clone()
+            },
+        ),
+        (
+            "3 GCN layers",
+            IsrecConfig {
+                gcn_layers: 3,
+                ..base.clone()
+            },
+        ),
+        (
+            "shared concept hidden (16)",
+            IsrecConfig {
+                concept_hidden: Some(16),
+                ..base.clone()
+            },
+        ),
+        (
+            "learned adjacency (§3.5 ext.)",
+            IsrecConfig {
+                adjacency: isrec_core::AdjacencyMode::Learned,
+                ..base.clone()
+            },
+        ),
+        (
+            "mixed adjacency (§3.5 ext.)",
+            IsrecConfig {
+                adjacency: isrec_core::AdjacencyMode::Mixed,
+                ..base
+            },
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, cfg) in variants {
+        let mut model = Isrec::new(&ds, cfg, 7);
+        let train = TrainConfig {
+            epochs: scale.epochs(),
+            lr: 5e-3,
+            batch_size: 64,
+            ..Default::default()
+        };
+        model.fit(&ds, &split, &train);
+        rows.push((name.to_string(), proto.evaluate(&model)));
+        eprintln!("{name} done");
+    }
+    println!(
+        "{}",
+        render_sweep(
+            "Extra ablations — implementation design choices (beauty-like)",
+            "variant",
+            &rows
+        )
+    );
+}

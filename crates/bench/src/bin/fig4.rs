@@ -1,0 +1,49 @@
+//! Regenerates **Fig. 4**: ISRec's sensitivity to the number of activated
+//! intents λ on the Beauty-like world.
+
+use isrec_core::{Isrec, IsrecConfig, SequentialRecommender, TrainConfig};
+use ist_bench::worlds::{max_len_for, world, Scale};
+use ist_data::{LeaveOneOut, WorldConfig};
+use ist_eval::report::render_sweep;
+use ist_eval::{EvalProtocol, ProtocolConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let ds = world(WorldConfig::beauty_like(), scale);
+    let max_len = max_len_for(&ds.name);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let proto = EvalProtocol::build(
+        &ds,
+        &split,
+        &ProtocolConfig {
+            max_users: scale.max_eval_users(),
+            ..Default::default()
+        },
+    );
+    let mut rows = Vec::new();
+    for lambda in [2usize, 5, 10, 15, 20] {
+        let cfg = IsrecConfig {
+            lambda,
+            max_len,
+            ..Default::default()
+        };
+        let mut model = Isrec::new(&ds, cfg, 7);
+        let train = TrainConfig {
+            epochs: scale.epochs(),
+            lr: 5e-3,
+            batch_size: 64,
+            ..Default::default()
+        };
+        model.fit(&ds, &split, &train);
+        rows.push((format!("{lambda}"), proto.evaluate(&model)));
+        eprintln!("λ={lambda} done");
+    }
+    println!(
+        "{}",
+        render_sweep(
+            "Fig. 4 — number of activated intents λ (beauty-like)",
+            "λ",
+            &rows
+        )
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates **Table 2**: overall comparison of ISRec and the ten
+//! baselines on all five worlds, six metrics each.
+
+use isrec_core::TrainConfig;
+use ist_bench::worlds::{all_worlds, max_len_for, Scale};
+use ist_eval::report::render_table2_block;
+use ist_eval::{run_suite, ModelSpec, ProtocolConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let specs = ModelSpec::table2();
+    println!("Table 2 — overall performance comparison (scale {scale:?})\n");
+    for ds in all_worlds(scale) {
+        let max_len = max_len_for(&ds.name);
+        let train = TrainConfig {
+            epochs: scale.epochs(),
+            lr: 5e-3,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let proto = ProtocolConfig {
+            max_users: scale.max_eval_users(),
+            ..Default::default()
+        };
+        let t0 = std::time::Instant::now();
+        let cells = run_suite(&specs, &ds, &train, &proto, max_len, 8);
+        println!("{}", render_table2_block(&ds.name, &cells));
+        eprintln!("[{}] done in {:.0}s", ds.name, t0.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerates **Table 3**: statistics of the (preprocessed) datasets.
+
+use ist_bench::worlds::{all_worlds, Scale};
+use ist_data::stats::{dataset_stats, render_dataset_table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows: Vec<_> = all_worlds(scale).iter().map(dataset_stats).collect();
+    println!("Table 3 — dataset statistics (scale {scale:?})\n");
+    println!("{}", render_dataset_table(&rows));
+}

@@ -1,0 +1,12 @@
+//! Regenerates **Table 4**: statistics of the extracted concepts and the
+//! intention graphs.
+
+use ist_bench::worlds::{all_worlds, Scale};
+use ist_data::stats::{concept_stats, render_concept_table};
+
+fn main() {
+    let scale = Scale::from_args();
+    let rows: Vec<_> = all_worlds(scale).iter().map(concept_stats).collect();
+    println!("Table 4 — concept statistics (scale {scale:?})\n");
+    println!("{}", render_concept_table(&rows));
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table 5**: the ablation study (ISRec vs w/o GNN vs
+//! w/o GNN&Intent vs the +concept baselines) on the Beauty- and ML-1m-like
+//! worlds.
+
+use isrec_core::TrainConfig;
+use ist_bench::worlds::{max_len_for, world, Scale};
+use ist_data::WorldConfig;
+use ist_eval::report::render_ablation_block;
+use ist_eval::{run_suite, ModelSpec, ProtocolConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    let specs = ModelSpec::table5();
+    println!("Table 5 — ISRec variants and concept-augmented baselines (scale {scale:?})\n");
+    for cfg in [WorldConfig::beauty_like(), WorldConfig::ml1m_like()] {
+        let ds = world(cfg, scale);
+        let max_len = max_len_for(&ds.name);
+        let train = TrainConfig {
+            epochs: scale.epochs(),
+            lr: 5e-3,
+            batch_size: 64,
+            ..Default::default()
+        };
+        let proto = ProtocolConfig {
+            max_users: scale.max_eval_users(),
+            ..Default::default()
+        };
+        let cells = run_suite(&specs, &ds, &train, &proto, max_len, 5);
+        println!("{}", render_ablation_block(&ds.name, &cells));
+    }
+}

@@ -1,0 +1,49 @@
+//! Regenerates **Table 6**: ISRec's sensitivity to the maximum sequence
+//! length `T` on the Beauty- and ML-1m-like worlds.
+
+use isrec_core::{Isrec, IsrecConfig, SequentialRecommender, TrainConfig};
+use ist_bench::worlds::{world, Scale};
+use ist_data::{LeaveOneOut, WorldConfig};
+use ist_eval::report::render_sweep;
+use ist_eval::{EvalProtocol, ProtocolConfig};
+
+fn main() {
+    let scale = Scale::from_args();
+    println!("Table 6 — impact of the maximum sequence length T (scale {scale:?})\n");
+    for (cfg, lengths) in [
+        (WorldConfig::beauty_like(), vec![5usize, 10, 20, 30, 40]),
+        (WorldConfig::ml1m_like(), vec![5, 10, 20, 35, 50]),
+    ] {
+        let ds = world(cfg, scale);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let proto = EvalProtocol::build(
+            &ds,
+            &split,
+            &ProtocolConfig {
+                max_users: scale.max_eval_users(),
+                ..Default::default()
+            },
+        );
+        let mut rows = Vec::new();
+        for &t in &lengths {
+            let model_cfg = IsrecConfig {
+                max_len: t,
+                ..Default::default()
+            };
+            let mut model = Isrec::new(&ds, model_cfg, 7);
+            let train = TrainConfig {
+                epochs: scale.epochs(),
+                lr: 5e-3,
+                batch_size: 64,
+                ..Default::default()
+            };
+            model.fit(&ds, &split, &train);
+            rows.push((format!("T={t}"), proto.evaluate(&model)));
+            eprintln!("[{}] T={t} done", ds.name);
+        }
+        println!(
+            "{}",
+            render_sweep(&format!("{} — T sweep", ds.name), "T", &rows)
+        );
+    }
+}

@@ -1,0 +1,8 @@
+//! # ist-bench
+//!
+//! Experiment binaries (one per paper table/figure — see DESIGN.md §4) and
+//! criterion benchmarks validating the §3.8 complexity claims.
+
+#![forbid(unsafe_code)]
+
+pub mod worlds;

@@ -1,0 +1,100 @@
+//! Shared world construction for the experiment binaries: one place that
+//! fixes seeds and scales so every table draws the same data.
+
+use ist_data::{IntentWorld, SequentialDataset, WorldConfig};
+
+/// The seed all experiment binaries generate their worlds from.
+pub const WORLD_SEED: u64 = 20230701;
+
+/// Scale presets for the experiment binaries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Fast smoke runs (CI-sized).
+    Small,
+    /// The default reported scale.
+    Full,
+}
+
+impl Scale {
+    /// Parses `--scale small|full` from argv (default: full).
+    pub fn from_args() -> Scale {
+        let args: Vec<String> = std::env::args().collect();
+        for w in args.windows(2) {
+            if w[0] == "--scale" && w[1] == "small" {
+                return Scale::Small;
+            }
+        }
+        Scale::Full
+    }
+
+    /// The user/item scale factor.
+    pub fn factor(&self) -> f64 {
+        match self {
+            Scale::Small => 0.3,
+            Scale::Full => 1.0,
+        }
+    }
+
+    /// Epoch budget for deep models at this scale.
+    pub fn epochs(&self) -> usize {
+        match self {
+            Scale::Small => 4,
+            Scale::Full => 12,
+        }
+    }
+
+    /// Evaluation-user cap at this scale (0 = all).
+    pub fn max_eval_users(&self) -> usize {
+        match self {
+            Scale::Small => 80,
+            Scale::Full => 250,
+        }
+    }
+}
+
+/// Generates one named world at the given scale.
+pub fn world(config: WorldConfig, scale: Scale) -> SequentialDataset {
+    IntentWorld::new(config.scaled(scale.factor())).generate(WORLD_SEED)
+}
+
+/// All five Table-2 worlds at the given scale.
+pub fn all_worlds(scale: Scale) -> Vec<SequentialDataset> {
+    WorldConfig::all_worlds()
+        .into_iter()
+        .map(|c| world(c, scale))
+        .collect()
+}
+
+/// The max-length `T` used per world (Table 6's tuned values, scaled).
+pub fn max_len_for(name: &str) -> usize {
+    match name {
+        "ml1m-like" | "ml20m-like" => 30,
+        _ => 20,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_presets() {
+        assert!(Scale::Small.factor() < Scale::Full.factor());
+        assert!(Scale::Small.epochs() < Scale::Full.epochs());
+        assert!(Scale::Small.max_eval_users() < Scale::Full.max_eval_users());
+    }
+
+    #[test]
+    fn world_generation_is_seed_stable() {
+        let a = world(WorldConfig::epinions_like().scaled(0.3), Scale::Small);
+        let b = world(WorldConfig::epinions_like().scaled(0.3), Scale::Small);
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.name, "epinions-like");
+    }
+
+    #[test]
+    fn max_len_tracks_world_family() {
+        assert!(max_len_for("ml1m-like") > max_len_for("beauty-like"));
+        assert_eq!(max_len_for("unknown"), 20);
+    }
+}

@@ -1,0 +1,165 @@
+//! Model and training configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// How the intention graph's adjacency enters the GCN transition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdjacencyMode {
+    /// The fixed, symmetric-normalised concept graph (the paper's default).
+    Fixed,
+    /// A fully learned adjacency: row-softmax of a `K×K` parameter,
+    /// initialised from the concept graph — the extension the paper
+    /// sketches in §3.5 ("learning the relation").
+    Learned,
+    /// The element-wise mean of the fixed and learned adjacencies.
+    Mixed,
+}
+
+/// Which parts of the intent pipeline are active (Table 5's ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IsrecVariant {
+    /// The full model.
+    Full,
+    /// "w/o GNN": intent extraction kept, transition disabled
+    /// (`Z_{t+1} = Z_t`).
+    WithoutGnn,
+    /// "w/o GNN & Intent": the intent modules removed entirely
+    /// (`x_{t+1} = x_t`); degenerates to the transformer encoder.
+    WithoutGnnAndIntent,
+}
+
+/// Hyperparameters of the ISRec model.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IsrecConfig {
+    /// Item/concept embedding width `d`.
+    pub d: usize,
+    /// Intent feature width `d'` (paper's sensitivity peak: 8, Fig. 3).
+    pub d_prime: usize,
+    /// Number of activated intents `λ` (paper's peak: 10, Fig. 4);
+    /// clamped to the dataset's concept count at build time.
+    pub lambda: usize,
+    /// Maximum sequence length `T` (Table 6).
+    pub max_len: usize,
+    /// Transformer encoder layers (the paper uses two).
+    pub layers: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// GCN layers `L` in the structured transition.
+    pub gcn_layers: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Gumbel-Softmax temperature `τ`.
+    pub tau: f32,
+    /// Ablation selector.
+    pub variant: IsrecVariant,
+    /// Optional shared ReLU pre-projection width before the per-concept
+    /// affine maps (None = the exact single-affine-per-concept grouping).
+    pub concept_hidden: Option<usize>,
+    /// Decode as `x_{t+1} = x_t + sum_k m_{t+1,k} MLP'_k(z_{t+1,k})`
+    /// instead of the pure Eq. (11). With the residual, the full model is
+    /// a strict superset of the "w/o GNN&Intent" ablation
+    /// (`x_{t+1} = x_t`), which is required for the Table-5 ordering to be
+    /// trainable at this scale; ablated in `ablation_extra`.
+    pub residual_decoder: bool,
+    /// Use the *relaxed* Gumbel-Softmax gates (`m ≈ λ·softmax((s+g)/τ)`)
+    /// end-to-end instead of hard straight-through masks. The hard top-λ
+    /// selection is still computed for the explanation traces; `false`
+    /// recovers the straight-through estimator (ablated in
+    /// `ablation_extra`).
+    pub soft_intents: bool,
+    /// Adjacency source for the structured transition.
+    pub adjacency: AdjacencyMode,
+    /// Score against the item's full Eq.-1 representation (item embedding
+    /// plus summed concept embeddings) instead of the bare item embedding
+    /// in Eq. (12). This output tying lets the predicted next-intent
+    /// features boost items *carrying* those concepts — the direct route
+    /// by which the structured transition influences ranking. Ablated in
+    /// `ablation_extra`.
+    pub tie_concept_output: bool,
+}
+
+impl Default for IsrecConfig {
+    fn default() -> Self {
+        IsrecConfig {
+            d: 32,
+            d_prime: 8,
+            lambda: 10,
+            max_len: 30,
+            layers: 2,
+            heads: 2,
+            gcn_layers: 2,
+            dropout: 0.2,
+            tau: 0.75,
+            variant: IsrecVariant::Full,
+            concept_hidden: None,
+            residual_decoder: true,
+            soft_intents: true,
+            adjacency: AdjacencyMode::Fixed,
+            tie_concept_output: true,
+        }
+    }
+}
+
+/// Optimisation settings shared by every model in the workspace.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the training users.
+    pub epochs: usize,
+    /// Sequences per batch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// L2 regularisation coefficient `α` of Eq. (14), applied as weight
+    /// decay (exact for SGD, standard practice for Adam).
+    pub l2: f32,
+    /// Global gradient-norm clip (0 disables).
+    pub grad_clip: f32,
+    /// Seed for initialisation, shuffling, dropout and Gumbel noise.
+    pub seed: u64,
+    /// Print per-epoch losses to stderr.
+    pub verbose: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 12,
+            batch_size: 64,
+            lr: 1e-3,
+            l2: 1e-5,
+            grad_clip: 5.0,
+            seed: 42,
+            verbose: false,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// A tiny configuration for unit tests.
+    pub fn smoke() -> Self {
+        TrainConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_peaks() {
+        let c = IsrecConfig::default();
+        assert_eq!(c.d_prime, 8, "Fig. 3 peak");
+        assert_eq!(c.lambda, 10, "Fig. 4 peak");
+        assert_eq!(c.layers, 2, "two-layer transformer per §3.2");
+        assert_eq!(c.variant, IsrecVariant::Full);
+    }
+
+    #[test]
+    fn train_config_smoke_is_small() {
+        assert!(TrainConfig::smoke().epochs <= 3);
+    }
+}

@@ -1,0 +1,594 @@
+//! The ISRec model: encoder → intent extraction → structured transition →
+//! intent decoder.
+
+use std::cell::RefCell;
+
+use ist_autograd::{fused, ops, Param, Var};
+use ist_data::sampling::{SeqBatch, SeqBatcher};
+use ist_data::{LeaveOneOut, SequentialDataset};
+use ist_graph::normalized_adjacency;
+use ist_nn::attention::{attention_mask, TransformerEncoder};
+use ist_nn::embedding::{Embedding, PositionalEmbedding};
+use ist_nn::linear::Linear;
+use ist_nn::{ctx::dropout, init, Ctx, Module};
+use ist_tensor::rng::{SeedRng, SeedRngExt as _};
+use ist_tensor::{reduce, Tensor};
+
+use crate::config::{AdjacencyMode, IsrecConfig, IsrecVariant, TrainConfig};
+use crate::recommender::{SequentialRecommender, TrainReport};
+use crate::trainer;
+
+/// Raw per-row intent information captured during a forward pass, used by
+/// the explainability layer (Fig. 2).
+#[derive(Clone, Debug, Default)]
+pub struct RawTrace {
+    /// Candidate intents per row: concept ids ranked by the relaxed
+    /// probability (the "candidate intent(s) generation" of Fig. 2).
+    pub candidates: Vec<Vec<usize>>,
+    /// Activated intents `m_t` per row.
+    pub activated_now: Vec<Vec<usize>>,
+    /// Predicted next intents `m_{t+1}` per row (top-λ feature norms).
+    pub activated_next: Vec<Vec<usize>>,
+}
+
+/// The ISRec model over one dataset's vocabulary and concept graph.
+pub struct Isrec {
+    cfg: IsrecConfig,
+    num_items: usize,
+    k: usize,
+    lambda: usize,
+    pad_id: usize,
+    item_emb: Embedding,
+    concept_emb: Embedding,
+    pos_emb: PositionalEmbedding,
+    encoder: TransformerEncoder,
+    concept_pre: Option<Linear>,
+    up_w: Param,
+    up_b: Param,
+    gcn: ist_nn::gcn::Gcn,
+    down_w: Param,
+    down_b: Param,
+    anchor_gamma: Param,
+    norm_adj: Tensor,
+    /// Learnable adjacency logits (only in `Learned`/`Mixed` modes),
+    /// row-softmaxed at forward time; initialised from the concept graph.
+    adj_logits: Option<Param>,
+    /// Concept bags per item id, with an empty bag appended for the pad id.
+    item_concepts: Vec<Vec<usize>>,
+    /// Gumbel-noise RNG (training only; eval sampling is deterministic).
+    rng: RefCell<SeedRng>,
+}
+
+impl Isrec {
+    /// Builds the model for `dataset` (embeddings sized to its vocabulary,
+    /// the GCN bound to its normalised concept graph).
+    pub fn new(dataset: &SequentialDataset, cfg: IsrecConfig, seed: u64) -> Self {
+        let mut rng = SeedRng::seed(seed);
+        let num_items = dataset.num_items;
+        let k = dataset.num_concepts().max(1);
+        let lambda = cfg.lambda.min(k).max(1);
+        let pad_id = num_items;
+
+        let mut item_concepts = dataset.item_concepts.clone();
+        item_concepts.push(Vec::new()); // pad item carries no concepts
+
+        let up_in = cfg.concept_hidden.unwrap_or(cfg.d);
+        let concept_pre = cfg
+            .concept_hidden
+            .map(|h| Linear::new("isrec.concept_pre", cfg.d, h, &mut rng));
+
+        Isrec {
+            num_items,
+            k,
+            lambda,
+            pad_id,
+            item_emb: Embedding::new("isrec.items", num_items + 1, cfg.d, &mut rng),
+            concept_emb: Embedding::new("isrec.concepts", k, cfg.d, &mut rng),
+            pos_emb: PositionalEmbedding::new("isrec.pos", cfg.max_len, cfg.d, &mut rng),
+            encoder: TransformerEncoder::new(
+                "isrec.encoder",
+                cfg.layers,
+                cfg.d,
+                cfg.heads,
+                cfg.dropout,
+                &mut rng,
+            ),
+            concept_pre,
+            up_w: Param::new(
+                "isrec.up_w",
+                init::xavier_uniform(&[up_in, k * cfg.d_prime], &mut rng),
+            ),
+            up_b: Param::new("isrec.up_b", Tensor::zeros(&[k * cfg.d_prime])),
+            gcn: ist_nn::gcn::Gcn::new_identity(
+                "isrec.gcn",
+                cfg.gcn_layers.max(1),
+                cfg.d_prime,
+                &mut rng,
+            ),
+            down_w: Param::new(
+                "isrec.down_w",
+                init::xavier_uniform(&[k * cfg.d_prime, cfg.d], &mut rng),
+            ),
+            down_b: Param::new("isrec.down_b", Tensor::zeros(&[cfg.d])),
+            anchor_gamma: Param::new("isrec.anchor_gamma", Tensor::from_vec(vec![0.5], &[1])),
+            adj_logits: (cfg.adjacency != AdjacencyMode::Fixed).then(|| {
+                // Initialise logits so the row-softmax starts close to the
+                // concept graph: edges (and the diagonal) get a head start.
+                let mut logits = Tensor::full(&[k, k], -2.0);
+                for v in 0..k {
+                    logits.data_mut()[v * k + v] = 2.0;
+                    for &w in dataset.concept_graph.neighbors(v) {
+                        logits.data_mut()[v * k + w] = 2.0;
+                    }
+                }
+                Param::new("isrec.adj_logits", logits)
+            }),
+            norm_adj: normalized_adjacency(&dataset.concept_graph),
+            item_concepts,
+            rng: RefCell::new(SeedRng::seed(seed ^ 0x5eed)),
+            cfg,
+        }
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &IsrecConfig {
+        &self.cfg
+    }
+
+    /// Number of activated intents λ actually in use (clamped to K).
+    pub fn lambda(&self) -> usize {
+        self.lambda
+    }
+
+    /// Number of concepts K.
+    pub fn num_concepts(&self) -> usize {
+        self.k
+    }
+
+    /// Embedding of the behaviour sequence (Eq. 1–4): item + positional +
+    /// summed concept embeddings through the causal transformer.
+    fn encode(&self, ctx: &mut Ctx, batch: &SeqBatch) -> Var {
+        let item_e = self.item_emb.forward(ctx, &batch.inputs);
+        let pos_e = self.pos_emb.forward(ctx, batch.batch, batch.len);
+        let bags: Vec<Vec<usize>> = batch
+            .inputs
+            .iter()
+            .map(|&it| self.item_concepts[it].clone())
+            .collect();
+        let concept_e = self.concept_emb.forward_bags(ctx, &bags);
+
+        let h0 = ops::add(&ops::add(&item_e, &pos_e), &concept_e);
+        let h0 = dropout(ctx, &h0, self.cfg.dropout);
+        let mask = attention_mask(batch.batch, batch.len, &batch.pad, true);
+        self.encoder
+            .forward(ctx, &h0, batch.batch, batch.len, &mask)
+    }
+
+    /// Intent extraction + structured transition + decoding (Eq. 5–11).
+    ///
+    /// Returns the next sequence representation `x_{t+1}` per row, plus a
+    /// raw trace when `collect` is set.
+    fn intent_pipeline(&self, ctx: &mut Ctx, x: &Var, collect: bool) -> (Var, Option<RawTrace>) {
+        if self.cfg.variant == IsrecVariant::WithoutGnnAndIntent {
+            // Ablation: x_{t+1} = x_t.
+            return (x.clone(), collect.then(RawTrace::default));
+        }
+        let rows = x.shape()[0];
+        let (k, dp) = (self.k, self.cfg.d_prime);
+
+        // --- Intent extraction (Eq. 5–6) --------------------------------
+        let c = self.concept_emb.full(ctx);
+        let sims = fused::cosine_similarity_rows(x, &c);
+        let sample = {
+            let mut rng = self.rng.borrow_mut();
+            fused::gumbel_topk_st(&sims, self.cfg.tau, self.lambda, &mut rng, !ctx.training)
+        };
+        // The intent gate m_t: relaxed λ-scaled probabilities in soft mode,
+        // the hard straight-through multi-hot otherwise.
+        let m_now = if self.cfg.soft_intents {
+            // Differentiable relaxed gate: λ·softmax((sims + g)/τ). At
+            // inference the noise is zero, so the gate ranks exactly like
+            // the trace indices reported for explanations.
+            let noise = if ctx.training {
+                let mut rng = self.rng.borrow_mut();
+                ist_tensor::rng::gumbel(&[rows, k], &mut rng)
+            } else {
+                Tensor::zeros(&[rows, k])
+            };
+            let perturbed = ops::scale(
+                &ops::add(&sims, &ctx.tape.constant(noise)),
+                1.0 / self.cfg.tau,
+            );
+            ops::scale(&fused::softmax_lastdim(&perturbed), self.lambda as f32)
+        } else {
+            sample.mask.clone() // [rows, K], multi-hot
+        };
+
+        // --- Per-concept feature lifting (Eq. 7–8) ------------------------
+        let pre = match &self.concept_pre {
+            Some(l) => ops::relu(&l.forward(ctx, x)),
+            None => x.clone(),
+        };
+        let lifted = ops::add(
+            &ops::matmul(&pre, &self.up_w.leaf(&ctx.tape)),
+            &self.up_b.leaf(&ctx.tape),
+        );
+        let z = ops::reshape(&lifted, &[rows, k, dp]);
+        let gate_now = ops::reshape(&m_now, &[rows, k, 1]);
+        let z_now = ops::mul(&z, &gate_now);
+
+        // --- Structured intent transition (Eq. 9–10) ----------------------
+        let (z_next, m_next_mask, next_idx) = if self.cfg.variant == IsrecVariant::Full {
+            let z_next = match self.cfg.adjacency {
+                AdjacencyMode::Fixed => self.gcn.forward(ctx, &z_now, &self.norm_adj),
+                mode => {
+                    let logits = self
+                        .adj_logits
+                        .as_ref()
+                        .expect("learned modes carry logits")
+                        .leaf(&ctx.tape);
+                    let learned = fused::softmax_lastdim(&logits);
+                    let adj = match mode {
+                        AdjacencyMode::Learned => learned,
+                        _ => {
+                            // Mixed: average with the fixed normalisation.
+                            let fixed = ctx.tape.constant(self.norm_adj.clone());
+                            ops::scale(&ops::add(&learned, &fixed), 0.5)
+                        }
+                    };
+                    self.gcn.forward_adj_var(ctx, &z_now, &adj)
+                }
+            };
+            // m_{t+1} from the feature norms ‖z_{t+1,k}‖₂ (§3.5): hard
+            // top-λ in hard mode; in soft mode a λ-scaled softmax over the
+            // squared norms (differentiable through the GCN).
+            let norms = reduce::norm2_lastdim(&z_next.value()); // [rows, K]
+            let idx = reduce::topk_lastdim(&norms, self.lambda);
+            let mask_var = if self.cfg.soft_intents {
+                let sq = ops::sum_lastdim(&ops::mul(&z_next, &z_next)); // [rows, K]
+                let w = fused::softmax_lastdim(&ops::scale(&sq, 1.0 / self.cfg.tau));
+                ops::scale(&w, self.lambda as f32)
+            } else {
+                let mut mask = Tensor::zeros(&[rows, k]);
+                for (r, row_idx) in idx.iter().enumerate() {
+                    for &j in row_idx {
+                        mask.data_mut()[r * k + j] = 1.0;
+                    }
+                }
+                ctx.constant(mask)
+            };
+            (z_next, mask_var, idx)
+        } else {
+            // "w/o GNN": Z_{t+1} = Z_t, m_{t+1} = m_t.
+            let gate = if self.cfg.soft_intents {
+                m_now.clone()
+            } else {
+                m_now.detach()
+            };
+            (z_now.clone(), gate, sample.indices.clone())
+        };
+
+        // --- Intent decoder (Eq. 11) --------------------------------------
+        let gate_next = ops::reshape(&m_next_mask, &[rows, k, 1]);
+        let z_gated = ops::mul(&z_next, &gate_next);
+        let flat = ops::reshape(&z_gated, &[rows, k * dp]);
+        let mut decoded = ops::add(
+            &ops::matmul(&flat, &self.down_w.leaf(&ctx.tape)),
+            &self.down_b.leaf(&ctx.tape),
+        );
+        // Intent anchor: the decoded representation carries the activated
+        // next-intent concept embeddings (γ learnable). Combined with the
+        // concept-tied output of Eq. (12), this directly boosts items that
+        // carry the predicted next intents — the transition's route into
+        // the ranking.
+        let anchor = ops::matmul(&m_next_mask, &c);
+        decoded = ops::add(
+            &decoded,
+            &ops::mul(&anchor, &self.anchor_gamma.leaf(&ctx.tape)),
+        );
+        let x_next = if self.cfg.residual_decoder {
+            ops::add(x, &decoded)
+        } else {
+            decoded
+        };
+
+        let trace = collect.then(|| {
+            // Candidate intents: concepts ranked by relaxed probability;
+            // keep a shortlist a bit larger than λ, as in Fig. 2.
+            let shortlist = (self.lambda + 4).min(k);
+            let candidates = reduce::topk_lastdim(&sample.soft, shortlist);
+            RawTrace {
+                candidates,
+                activated_now: sample.indices.clone(),
+                activated_next: next_idx,
+            }
+        });
+        (x_next, trace)
+    }
+
+    /// Full-vocabulary next-item logits (Eq. 12) for every position.
+    pub fn forward_logits(
+        &self,
+        ctx: &mut Ctx,
+        batch: &SeqBatch,
+        collect: bool,
+    ) -> (Var, Option<RawTrace>) {
+        let x = self.encode(ctx, batch);
+        let (x_next, trace) = self.intent_pipeline(ctx, &x, collect);
+        // Score against real items only (drop the pad row of the table).
+        let table = self.item_emb.full(ctx);
+        let mut items = ops::slice_rows(&table, 0, self.num_items);
+        if self.cfg.tie_concept_output {
+            // Tie the output representation to Eq. (1): v_i + Σ_j c_j, so
+            // intent-aligned predictions directly boost concept-matching
+            // items.
+            let cbags = ops::bag_select_sum(
+                &self.concept_emb.full(ctx),
+                &self.item_concepts[..self.num_items],
+            );
+            items = ops::add(&items, &cbags);
+        }
+        let logits = ops::matmul(&x_next, &ops::transpose(&items));
+        (logits, trace)
+    }
+
+    /// Pad item id (`num_items`).
+    pub fn pad_id(&self) -> usize {
+        self.pad_id
+    }
+
+    /// The batcher matching this model's `max_len`/pad conventions.
+    pub fn batcher(&self, batch_size: usize) -> SeqBatcher {
+        SeqBatcher::new(self.cfg.max_len, batch_size, self.pad_id)
+    }
+
+    /// Dataset vocabulary size this model was built for.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+}
+
+impl Module for Isrec {
+    fn params(&self) -> Vec<Param> {
+        let mut ps = self.item_emb.params();
+        ps.extend(self.concept_emb.params());
+        ps.extend(self.pos_emb.params());
+        ps.extend(self.encoder.params());
+        if let Some(l) = &self.concept_pre {
+            ps.extend(l.params());
+        }
+        ps.push(self.up_w.clone());
+        ps.push(self.up_b.clone());
+        ps.extend(self.gcn.params());
+        ps.push(self.down_w.clone());
+        ps.push(self.down_b.clone());
+        ps.push(self.anchor_gamma.clone());
+        if let Some(a) = &self.adj_logits {
+            ps.push(a.clone());
+        }
+        ps
+    }
+}
+
+impl SequentialRecommender for Isrec {
+    fn name(&self) -> String {
+        match self.cfg.variant {
+            IsrecVariant::Full => "ISRec".to_string(),
+            IsrecVariant::WithoutGnn => "ISRec w/o GNN".to_string(),
+            IsrecVariant::WithoutGnnAndIntent => "ISRec w/o GNN&Intent".to_string(),
+        }
+    }
+
+    fn fit(
+        &mut self,
+        _dataset: &SequentialDataset,
+        split: &LeaveOneOut,
+        train: &TrainConfig,
+    ) -> TrainReport {
+        let batcher = self.batcher(train.batch_size);
+        let params = self.params();
+        trainer::train_next_item(split, &batcher, train, params, |ctx, batch| {
+            self.forward_logits(ctx, batch, false).0
+        })
+    }
+
+    fn score_batch(
+        &self,
+        _users: &[usize],
+        histories: &[&[usize]],
+        candidates: &[&[usize]],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(histories.len(), candidates.len());
+        let batcher = self.batcher(1);
+        let t = self.cfg.max_len;
+        let mut out = Vec::with_capacity(histories.len());
+        const CHUNK: usize = 128;
+        for (hist_chunk, cand_chunk) in histories.chunks(CHUNK).zip(candidates.chunks(CHUNK)) {
+            let batch = batcher.inference_batch(hist_chunk);
+            let mut ctx = Ctx::eval();
+            let (logits, _) = self.forward_logits(&mut ctx, &batch, false);
+            let lv = logits.value();
+            for (bi, cands) in cand_chunk.iter().enumerate() {
+                // Left padding ⇒ the newest position is always t-1.
+                let row = bi * t + (t - 1);
+                out.push(cands.iter().map(|&c| lv.at2(row, c)).collect());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_data::{IntentWorld, WorldConfig};
+
+    fn tiny_dataset() -> SequentialDataset {
+        let cfg = WorldConfig::beauty_like().scaled(0.15);
+        IntentWorld::new(cfg).generate(11)
+    }
+
+    fn tiny_model(ds: &SequentialDataset, variant: IsrecVariant) -> Isrec {
+        let cfg = IsrecConfig {
+            d: 16,
+            d_prime: 4,
+            lambda: 4,
+            max_len: 10,
+            layers: 1,
+            heads: 2,
+            gcn_layers: 2,
+            dropout: 0.1,
+            variant,
+            ..Default::default()
+        };
+        Isrec::new(ds, cfg, 7)
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let ds = tiny_dataset();
+        let model = tiny_model(&ds, IsrecVariant::Full);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let batcher = model.batcher(8);
+        let users: Vec<usize> = (0..8).collect();
+        let batch = &batcher.batches(&split.train, &users)[0];
+        let mut ctx = Ctx::train(0);
+        let (logits, trace) = model.forward_logits(&mut ctx, batch, true);
+        assert_eq!(logits.shape(), vec![batch.batch * batch.len, ds.num_items]);
+        let trace = trace.unwrap();
+        assert_eq!(trace.activated_now.len(), batch.batch * batch.len);
+        assert!(trace.activated_now[0].len() == model.lambda());
+    }
+
+    #[test]
+    fn all_core_parameters_receive_gradients() {
+        let ds = tiny_dataset();
+        let model = tiny_model(&ds, IsrecVariant::Full);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let batcher = model.batcher(8);
+        let users: Vec<usize> = (0..8).collect();
+        let batch = &batcher.batches(&split.train, &users)[0];
+        let mut ctx = Ctx::train(1);
+        let (logits, _) = model.forward_logits(&mut ctx, batch, false);
+        let loss = fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
+        ctx.tape.backward(&loss);
+        let mut missing = Vec::new();
+        for p in model.params() {
+            if p.grad().norm2() == 0.0 {
+                missing.push(p.name());
+            }
+        }
+        for key in ["items", "concepts", "up_w", "down_w", "gcn"] {
+            assert!(
+                !missing.iter().any(|m| m.contains(key)),
+                "no gradient reached {key}: missing={missing:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scoring_is_deterministic_and_finite() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds, IsrecVariant::Full);
+        let split = LeaveOneOut::split(&ds.sequences);
+        model.fit(
+            &ds,
+            &split,
+            &TrainConfig {
+                epochs: 1,
+                ..TrainConfig::smoke()
+            },
+        );
+        let hist = split.test_history(0);
+        let cands: Vec<usize> = (0..ds.num_items.min(10)).collect();
+        let s1 = model.score(&hist, &cands);
+        let s2 = model.score(&hist, &cands);
+        assert_eq!(s1, s2, "eval scoring must be deterministic");
+        assert_eq!(s1.len(), cands.len());
+        assert!(s1.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn variants_change_the_computation() {
+        let ds = tiny_dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        let hist = split.test_history(0);
+        let cands: Vec<usize> = (0..5).collect();
+        let mut scores = Vec::new();
+        for v in [
+            IsrecVariant::Full,
+            IsrecVariant::WithoutGnn,
+            IsrecVariant::WithoutGnnAndIntent,
+        ] {
+            let model = tiny_model(&ds, v);
+            scores.push(model.score(&hist, &cands));
+        }
+        assert_ne!(scores[0], scores[2], "full vs w/o GNN&Intent must differ");
+    }
+
+    #[test]
+    fn learned_adjacency_extension_trains() {
+        let ds = tiny_dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        for mode in [AdjacencyMode::Learned, AdjacencyMode::Mixed] {
+            let cfg = IsrecConfig {
+                d: 16,
+                d_prime: 4,
+                lambda: 4,
+                max_len: 10,
+                layers: 1,
+                adjacency: mode,
+                ..Default::default()
+            };
+            let mut model = Isrec::new(&ds, cfg, 7);
+            // The adjacency logits must be trainable parameters…
+            assert!(model
+                .params()
+                .iter()
+                .any(|p| p.name().contains("adj_logits")));
+            let report = model.fit(
+                &ds,
+                &split,
+                &TrainConfig {
+                    epochs: 2,
+                    ..TrainConfig::smoke()
+                },
+            );
+            assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+            // …and they must actually receive gradients.
+            let batcher = model.batcher(8);
+            let users: Vec<usize> = (0..8).collect();
+            let batch = &batcher.batches(&split.train, &users)[0];
+            let mut ctx = Ctx::train(0);
+            let (logits, _) = model.forward_logits(&mut ctx, batch, false);
+            let loss = fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
+            ctx.tape.backward(&loss);
+            let adj = model
+                .params()
+                .into_iter()
+                .find(|p| p.name().contains("adj_logits"))
+                .expect("adj param");
+            assert!(
+                adj.grad().norm2() > 0.0,
+                "no gradient reached the learned adjacency"
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let ds = tiny_dataset();
+        let mut model = tiny_model(&ds, IsrecVariant::Full);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let report = model.fit(
+            &ds,
+            &split,
+            &TrainConfig {
+                epochs: 3,
+                ..TrainConfig::smoke()
+            },
+        );
+        assert_eq!(report.epoch_losses.len(), 3);
+        assert!(report.improved(), "losses: {:?}", report.epoch_losses);
+    }
+}

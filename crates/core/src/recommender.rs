@@ -1,0 +1,77 @@
+//! The common interface every sequential recommender in this workspace
+//! implements (ISRec and all ten baselines).
+
+use ist_data::{LeaveOneOut, SequentialDataset};
+
+use crate::config::TrainConfig;
+
+/// Per-epoch training diagnostics.
+#[derive(Clone, Debug, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+impl TrainReport {
+    /// True when the loss decreased from the first to the last epoch —
+    /// used as a cheap learning-signal assertion in tests.
+    pub fn improved(&self) -> bool {
+        match (self.epoch_losses.first(), self.epoch_losses.last()) {
+            (Some(a), Some(b)) => b < a,
+            _ => false,
+        }
+    }
+}
+
+/// A next-item recommender trained on user interaction sequences.
+pub trait SequentialRecommender {
+    /// Display name (used in the result tables).
+    fn name(&self) -> String;
+
+    /// Trains on the split's training sequences.
+    fn fit(
+        &mut self,
+        dataset: &SequentialDataset,
+        split: &LeaveOneOut,
+        train: &TrainConfig,
+    ) -> TrainReport;
+
+    /// Scores `candidates` as the next item after each `history`
+    /// (higher = better). `scores[i][j]` is the score of
+    /// `candidates[i][j]` given `histories[i]`.
+    ///
+    /// `users[i]` is the dataset user index behind `histories[i]`;
+    /// sequence models may ignore it, while MF-family baselines (BPR-MF,
+    /// NCF, FPMC, DGCF, Caser) use their learned user embedding.
+    fn score_batch(
+        &self,
+        users: &[usize],
+        histories: &[&[usize]],
+        candidates: &[&[usize]],
+    ) -> Vec<Vec<f32>>;
+
+    /// Convenience single-history scorer for user 0-style sequence models.
+    fn score(&self, history: &[usize], candidates: &[usize]) -> Vec<f32> {
+        self.score_batch(&[0], &[history], &[candidates])
+            .pop()
+            .expect("one row")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_improvement() {
+        let r = TrainReport {
+            epoch_losses: vec![2.0, 1.5, 1.0],
+        };
+        assert!(r.improved());
+        let flat = TrainReport {
+            epoch_losses: vec![1.0, 1.2],
+        };
+        assert!(!flat.improved());
+        assert!(!TrainReport::default().improved());
+    }
+}

@@ -1,0 +1,118 @@
+//! Compact binary snapshots of trained parameters.
+//!
+//! Format (little-endian): `u32` param count, then per parameter
+//! `u16 name_len | name bytes | u8 rank | u32 dims… | f32 data…`.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ist_autograd::Param;
+use ist_tensor::Tensor;
+
+/// Serialises parameters (name, shape, values) to bytes.
+pub fn save(params: &[Param]) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let name = p.name();
+        let value = p.value();
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name.as_bytes());
+        buf.put_u8(value.rank() as u8);
+        for &d in value.shape() {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in value.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores parameter values by name. Parameters present in `params` but
+/// missing from the snapshot are left untouched; shape mismatches error.
+pub fn load(params: &[Param], mut bytes: Bytes) -> Result<usize, String> {
+    if bytes.remaining() < 4 {
+        return Err("truncated snapshot header".into());
+    }
+    let count = bytes.get_u32_le() as usize;
+    let by_name: std::collections::HashMap<String, &Param> =
+        params.iter().map(|p| (p.name(), p)).collect();
+    let mut restored = 0usize;
+    for _ in 0..count {
+        if bytes.remaining() < 2 {
+            return Err("truncated name length".into());
+        }
+        let name_len = bytes.get_u16_le() as usize;
+        if bytes.remaining() < name_len + 1 {
+            return Err("truncated name".into());
+        }
+        let name = String::from_utf8(bytes.copy_to_bytes(name_len).to_vec())
+            .map_err(|e| format!("bad name: {e}"))?;
+        let rank = bytes.get_u8() as usize;
+        if bytes.remaining() < rank * 4 {
+            return Err("truncated shape".into());
+        }
+        let shape: Vec<usize> = (0..rank).map(|_| bytes.get_u32_le() as usize).collect();
+        let len: usize = shape.iter().product();
+        if bytes.remaining() < len * 4 {
+            return Err(format!("truncated data for {name}"));
+        }
+        let data: Vec<f32> = (0..len).map(|_| bytes.get_f32_le()).collect();
+        if let Some(p) = by_name.get(&name) {
+            if p.shape() != shape {
+                return Err(format!(
+                    "shape mismatch for {name}: snapshot {:?} vs model {:?}",
+                    shape,
+                    p.shape()
+                ));
+            }
+            p.set_value(Tensor::from_vec(data, &shape));
+            restored += 1;
+        }
+    }
+    Ok(restored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_restores_values() {
+        let a = Param::new("a", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let b = Param::new("b", Tensor::from_vec(vec![4.0, 5.0], &[2, 1]));
+        let snap = save(&[a.clone(), b.clone()]);
+
+        let a2 = Param::new("a", Tensor::zeros(&[3]));
+        let b2 = Param::new("b", Tensor::zeros(&[2, 1]));
+        let restored = load(&[a2.clone(), b2.clone()], snap).unwrap();
+        assert_eq!(restored, 2);
+        assert_eq!(a2.value().data(), &[1.0, 2.0, 3.0]);
+        assert_eq!(b2.value().data(), &[4.0, 5.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_is_an_error() {
+        let a = Param::new("a", Tensor::zeros(&[3]));
+        let snap = save(&[a]);
+        let wrong = Param::new("a", Tensor::zeros(&[4]));
+        assert!(load(&[wrong], snap).unwrap_err().contains("shape mismatch"));
+    }
+
+    #[test]
+    fn unknown_params_are_skipped() {
+        let a = Param::new("a", Tensor::ones(&[2]));
+        let snap = save(&[a]);
+        let other = Param::new("b", Tensor::zeros(&[2]));
+        let restored = load(&[other.clone()], snap).unwrap();
+        assert_eq!(restored, 0);
+        assert_eq!(other.value().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn truncated_snapshot_errors() {
+        let a = Param::new("a", Tensor::ones(&[8]));
+        let snap = save(&[a]);
+        let cut = snap.slice(0..snap.len() - 4);
+        assert!(load(&[Param::new("a", Tensor::zeros(&[8]))], cut).is_err());
+    }
+}

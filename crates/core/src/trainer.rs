@@ -1,0 +1,183 @@
+//! The shared next-item training loop (Eq. 13–14) used by ISRec and by
+//! every gradient-trained baseline with a full-softmax objective.
+
+use ist_autograd::{fused, Param, Var};
+use ist_data::sampling::{SeqBatch, SeqBatcher};
+use ist_data::LeaveOneOut;
+use ist_nn::optim::{clip_grad_norm, Adam};
+use ist_nn::Ctx;
+use ist_tensor::rng::{SeedRng, SeedRngExt as _};
+use rand::seq::SliceRandom;
+
+use crate::config::TrainConfig;
+use crate::recommender::TrainReport;
+
+/// Trains with Adam on the weighted next-item cross-entropy.
+///
+/// `forward` maps a training batch to full-vocabulary logits
+/// (`[batch·len, num_items]`, aligned with the batch's `targets`/`weights`).
+/// The L2 term of Eq. (14) is applied as weight decay inside Adam.
+pub fn train_next_item<F>(
+    split: &LeaveOneOut,
+    batcher: &SeqBatcher,
+    cfg: &TrainConfig,
+    params: Vec<Param>,
+    mut forward: F,
+) -> TrainReport
+where
+    F: FnMut(&mut Ctx, &SeqBatch) -> Var,
+{
+    let mut opt = Adam::new(params.clone(), cfg.lr, cfg.l2);
+    let mut shuffle_rng = SeedRng::seed(cfg.seed ^ 0x00ffa17e);
+    let mut report = TrainReport::default();
+
+    let mut user_ids: Vec<usize> = (0..split.train.len()).collect();
+    for epoch in 0..cfg.epochs {
+        user_ids.shuffle(&mut shuffle_rng);
+        let batches = batcher.batches(&split.train, &user_ids);
+        let mut epoch_loss = 0.0f64;
+        let mut steps = 0usize;
+        for (step, batch) in batches.iter().enumerate() {
+            if batch.weights.iter().all(|&w| w == 0.0) {
+                continue; // nothing to predict in this batch
+            }
+            let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 32) ^ step as u64);
+            let logits = forward(&mut ctx, batch);
+            let loss = fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
+            let loss_val = loss.value().item();
+            debug_assert!(
+                loss_val.is_finite(),
+                "non-finite loss at epoch {epoch} step {step}"
+            );
+            ctx.tape.backward(&loss);
+            if cfg.grad_clip > 0.0 {
+                clip_grad_norm(&params, cfg.grad_clip);
+            }
+            opt.step();
+            epoch_loss += loss_val as f64;
+            steps += 1;
+        }
+        let mean = if steps > 0 {
+            (epoch_loss / steps as f64) as f32
+        } else {
+            0.0
+        };
+        if cfg.verbose {
+            eprintln!("epoch {epoch:>3}: loss {mean:.4}");
+        }
+        report.epoch_losses.push(mean);
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_autograd::ops;
+    use ist_nn::Module;
+
+    /// A minimal "model": logits = one embedding row per input item.
+    struct Toy {
+        table: ist_nn::embedding::Embedding,
+        out: ist_nn::linear::Linear,
+    }
+
+    impl Toy {
+        fn new(vocab: usize) -> Self {
+            let mut rng = SeedRng::seed(3);
+            Toy {
+                table: ist_nn::embedding::Embedding::new("toy.emb", vocab + 1, 8, &mut rng),
+                out: ist_nn::linear::Linear::new("toy.out", 8, vocab, &mut rng),
+            }
+        }
+    }
+
+    #[test]
+    fn toy_model_learns_deterministic_transitions() {
+        // World: 0→1→2→0→1→2…; the toy must learn the successor function.
+        let vocab = 3;
+        let sequences: Vec<Vec<usize>> = (0..24)
+            .map(|u| (0..8).map(|t| (u + t) % vocab).collect())
+            .collect();
+        let split = LeaveOneOut::split(&sequences);
+        let toy = Toy::new(vocab);
+        let params = {
+            let mut p = toy.table.params();
+            p.extend(toy.out.params());
+            p
+        };
+        let batcher = SeqBatcher::new(6, 8, vocab);
+        let cfg = TrainConfig {
+            epochs: 30,
+            lr: 0.05,
+            l2: 0.0,
+            ..TrainConfig::smoke()
+        };
+        let report = train_next_item(&split, &batcher, &cfg, params, |ctx, batch| {
+            let e = toy.table.forward(ctx, &batch.inputs);
+            toy.out.forward(ctx, &e)
+        });
+        assert!(report.improved());
+        assert!(
+            *report.epoch_losses.last().unwrap() < 0.3,
+            "deterministic successor should be learnable: {:?}",
+            report.epoch_losses.last()
+        );
+
+        // And the prediction is right: after seeing item 1, predict 2.
+        let mut ctx = Ctx::eval();
+        let batch = batcher.inference_batch(&[&[0usize, 1][..]]);
+        let e = toy.table.forward(&mut ctx, &batch.inputs);
+        let logits = toy.out.forward(&mut ctx, &e);
+        let last_row = logits.value();
+        let row = &last_row.data()[(batch.len - 1) * vocab..batch.len * vocab];
+        let argmax = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(argmax, 2);
+    }
+
+    #[test]
+    fn empty_epochs_do_not_panic() {
+        let split = LeaveOneOut::split(&[vec![1usize]]); // too short to train
+        let batcher = SeqBatcher::new(4, 8, 10);
+        let cfg = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::smoke()
+        };
+        let report = train_next_item(&split, &batcher, &cfg, vec![], |ctx, _| {
+            ctx.tape.leaf(ist_tensor::Tensor::zeros(&[1, 1]))
+        });
+        assert_eq!(report.epoch_losses, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn grad_clipping_engages_without_breaking_learning() {
+        let vocab = 3;
+        let sequences: Vec<Vec<usize>> = (0..12).map(|_| vec![0, 1, 2, 0, 1, 2]).collect();
+        let split = LeaveOneOut::split(&sequences);
+        let toy = Toy::new(vocab);
+        let params = {
+            let mut p = toy.table.params();
+            p.extend(toy.out.params());
+            p
+        };
+        let batcher = SeqBatcher::new(4, 4, vocab);
+        let cfg = TrainConfig {
+            epochs: 5,
+            lr: 0.05,
+            grad_clip: 0.01,
+            l2: 0.0,
+            ..TrainConfig::smoke()
+        };
+        let report = train_next_item(&split, &batcher, &cfg, params, |ctx, batch| {
+            let e = toy.table.forward(ctx, &batch.inputs);
+            let h = ops::relu(&e);
+            toy.out.forward(ctx, &h)
+        });
+        assert!(report.epoch_losses.iter().all(|l| l.is_finite()));
+    }
+}

@@ -1,0 +1,167 @@
+//! The central dataset type shared by every model and experiment.
+
+use ist_graph::lexicon::Domain;
+use ist_graph::ConceptGraph;
+
+/// A preprocessed sequential-recommendation dataset.
+///
+/// Users and items are dense indices (`0..num_users`, `0..num_items`).
+/// Sequences are chronological; the *item–concept matrix* `E` of the paper
+/// is stored sparsely as sorted concept-id lists per item.
+#[derive(Clone, Debug)]
+pub struct SequentialDataset {
+    /// Human-readable dataset name (e.g. `beauty-like`).
+    pub name: String,
+    /// Source domain (selects the lexicon used in explanations).
+    pub domain: Domain,
+    /// Per-user chronological interaction sequences.
+    pub sequences: Vec<Vec<usize>>,
+    /// Number of distinct items.
+    pub num_items: usize,
+    /// Sorted concept ids per item (the sparse rows of `E`).
+    pub item_concepts: Vec<Vec<usize>>,
+    /// The intention graph `G` over concepts.
+    pub concept_graph: ConceptGraph,
+    /// Human-readable concept names (parallel to concept ids).
+    pub concept_names: Vec<String>,
+}
+
+impl SequentialDataset {
+    /// Number of users.
+    pub fn num_users(&self) -> usize {
+        self.sequences.len()
+    }
+
+    /// Number of concepts `K`.
+    pub fn num_concepts(&self) -> usize {
+        self.concept_names.len()
+    }
+
+    /// Total number of interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(|s| s.len()).sum()
+    }
+
+    /// Average sequence length.
+    pub fn avg_sequence_length(&self) -> f64 {
+        if self.sequences.is_empty() {
+            return 0.0;
+        }
+        self.num_interactions() as f64 / self.num_users() as f64
+    }
+
+    /// Interaction density `#interactions / (#users · #items)`.
+    pub fn density(&self) -> f64 {
+        let cells = self.num_users() * self.num_items;
+        if cells == 0 {
+            0.0
+        } else {
+            self.num_interactions() as f64 / cells as f64
+        }
+    }
+
+    /// Average number of concepts per item (Table 4's last column).
+    pub fn avg_concepts_per_item(&self) -> f64 {
+        if self.num_items == 0 {
+            return 0.0;
+        }
+        self.item_concepts.iter().map(|c| c.len()).sum::<usize>() as f64 / self.num_items as f64
+    }
+
+    /// Item popularity counts (training-signal for PopRec and popularity
+    /// negative sampling).
+    pub fn item_popularity(&self) -> Vec<usize> {
+        let mut pop = vec![0usize; self.num_items];
+        for seq in &self.sequences {
+            for &it in seq {
+                pop[it] += 1;
+            }
+        }
+        pop
+    }
+
+    /// Validates all invariants; used by tests and debug assertions.
+    ///
+    /// Returns a description of the first violation, if any.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.item_concepts.len() != self.num_items {
+            return Err(format!(
+                "item_concepts has {} rows for {} items",
+                self.item_concepts.len(),
+                self.num_items
+            ));
+        }
+        let k = self.num_concepts();
+        if self.concept_graph.num_nodes() != k {
+            return Err(format!(
+                "graph has {} nodes for {} concepts",
+                self.concept_graph.num_nodes(),
+                k
+            ));
+        }
+        for (u, seq) in self.sequences.iter().enumerate() {
+            for &it in seq {
+                if it >= self.num_items {
+                    return Err(format!(
+                        "user {u} references item {it} ≥ {}",
+                        self.num_items
+                    ));
+                }
+            }
+        }
+        for (it, cs) in self.item_concepts.iter().enumerate() {
+            if !cs.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("item {it} concepts not sorted/deduped"));
+            }
+            if let Some(&c) = cs.last() {
+                if c >= k {
+                    return Err(format!("item {it} references concept {c} ≥ {k}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) fn tiny() -> SequentialDataset {
+        SequentialDataset {
+            name: "tiny".into(),
+            domain: Domain::Beauty,
+            sequences: vec![vec![0, 1, 2], vec![2, 0]],
+            num_items: 3,
+            item_concepts: vec![vec![0], vec![0, 1], vec![1]],
+            concept_graph: ConceptGraph::from_edges(2, &[(0, 1)]),
+            concept_names: vec!["a".into(), "b".into()],
+        }
+    }
+
+    #[test]
+    fn statistics() {
+        let d = tiny();
+        assert_eq!(d.num_users(), 2);
+        assert_eq!(d.num_interactions(), 5);
+        assert!((d.avg_sequence_length() - 2.5).abs() < 1e-12);
+        assert!((d.density() - 5.0 / 6.0).abs() < 1e-12);
+        assert!((d.avg_concepts_per_item() - 4.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.item_popularity(), vec![2, 1, 2]);
+        assert!(d.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_item() {
+        let mut d = tiny();
+        d.sequences[0].push(99);
+        assert!(d.validate().is_err());
+    }
+
+    #[test]
+    fn validation_catches_unsorted_concepts() {
+        let mut d = tiny();
+        d.item_concepts[0] = vec![1, 0];
+        assert!(d.validate().unwrap_err().contains("not sorted"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # ist-data
+//!
+//! Sequential-recommendation datasets for the ISRec reproduction.
+//!
+//! The paper evaluates on Amazon-Beauty, Steam, Epinions, ML-1m and ML-20m,
+//! none of which is available offline — so this crate provides a *synthetic
+//! intent-driven world* ([`synthetic`]) whose generative process embeds
+//! exactly the causal structure ISRec models: latent user intents living on
+//! a concept graph, drifting along graph edges, and driving item choice.
+//! Five named configurations match the relative statistics of the paper's
+//! datasets (Tables 3–4) at laptop scale.
+//!
+//! The rest of the crate reproduces the paper's data pipeline end to end:
+//! synthetic item descriptions and keyword-based concept extraction with
+//! rare/frequent filtering ([`text`]), 5-core preprocessing
+//! ([`preprocess`]), the leave-one-out split ([`split`]), negative sampling
+//! and padded batch construction ([`sampling`]), and the statistics tables
+//! ([`stats`]).
+
+#![forbid(unsafe_code)]
+
+pub mod dataset;
+pub mod io;
+pub mod preprocess;
+pub mod sampling;
+pub mod split;
+pub mod stats;
+pub mod synthetic;
+pub mod text;
+
+pub use dataset::SequentialDataset;
+pub use split::LeaveOneOut;
+pub use synthetic::{IntentWorld, WorldConfig};

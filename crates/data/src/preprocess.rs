@@ -1,0 +1,148 @@
+//! 5-core preprocessing: iteratively remove users and items with fewer
+//! than `min_count` interactions, then reindex densely (§4.1 of the paper).
+
+use std::collections::HashMap;
+
+/// Result of [`five_core`]: filtered sequences plus the item remapping.
+#[derive(Clone, Debug)]
+pub struct CoreFiltered {
+    /// Surviving sequences with densely reindexed item ids.
+    pub sequences: Vec<Vec<usize>>,
+    /// New number of items.
+    pub num_items: usize,
+    /// `old item id → new item id` for survivors.
+    pub item_remap: HashMap<usize, usize>,
+    /// Original user index of each surviving sequence.
+    pub kept_users: Vec<usize>,
+}
+
+/// Iteratively drops users with fewer than `min_count` interactions and
+/// items with fewer than `min_count` occurrences, until a fixed point, then
+/// reindexes items densely in first-appearance order.
+pub fn five_core(sequences: &[Vec<usize>], num_items: usize, min_count: usize) -> CoreFiltered {
+    let mut user_alive: Vec<bool> = sequences.iter().map(|s| !s.is_empty()).collect();
+    let mut item_alive = vec![true; num_items];
+
+    loop {
+        let mut changed = false;
+        // Count item occurrences over alive users/items.
+        let mut item_count = vec![0usize; num_items];
+        for (u, seq) in sequences.iter().enumerate() {
+            if !user_alive[u] {
+                continue;
+            }
+            for &it in seq {
+                if item_alive[it] {
+                    item_count[it] += 1;
+                }
+            }
+        }
+        for it in 0..num_items {
+            if item_alive[it] && item_count[it] < min_count {
+                item_alive[it] = false;
+                changed = true;
+            }
+        }
+        // Users: count remaining interactions.
+        for (u, seq) in sequences.iter().enumerate() {
+            if !user_alive[u] {
+                continue;
+            }
+            let len = seq.iter().filter(|&&it| item_alive[it]).count();
+            if len < min_count {
+                user_alive[u] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Reindex.
+    let mut item_remap: HashMap<usize, usize> = HashMap::new();
+    let mut out_sequences = Vec::new();
+    let mut kept_users = Vec::new();
+    for (u, seq) in sequences.iter().enumerate() {
+        if !user_alive[u] {
+            continue;
+        }
+        let filtered: Vec<usize> = seq
+            .iter()
+            .filter(|&&it| item_alive[it])
+            .map(|&it| {
+                let next = item_remap.len();
+                *item_remap.entry(it).or_insert(next)
+            })
+            .collect();
+        if !filtered.is_empty() {
+            out_sequences.push(filtered);
+            kept_users.push(u);
+        }
+    }
+    let num_items = item_remap.len();
+    CoreFiltered {
+        sequences: out_sequences,
+        num_items,
+        item_remap,
+        kept_users,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_dense_core() {
+        // Items 0,1 are popular; item 9 appears once; user 3 is too short.
+        let sequences = vec![
+            vec![0, 1, 0, 1, 0],
+            vec![1, 0, 1, 0, 1],
+            vec![0, 1, 0, 1, 9],
+            vec![0, 1],
+        ];
+        let f = five_core(&sequences, 10, 5);
+        assert_eq!(f.num_items, 2);
+        // User 2 cascades out: losing item 9 leaves only 4 interactions.
+        assert_eq!(f.sequences.len(), 2);
+        assert_eq!(f.kept_users, vec![0, 1]);
+        // Every kept user has ≥5 interactions; every kept item ≥5 occurrences.
+        let mut item_count = vec![0usize; f.num_items];
+        for s in &f.sequences {
+            assert!(s.len() >= 5);
+            for &it in s {
+                item_count[it] += 1;
+            }
+        }
+        assert!(item_count.iter().all(|&c| c >= 5));
+    }
+
+    #[test]
+    fn cascade_removal_reaches_fixed_point() {
+        // Removing item 2 shortens user 1 below threshold, whose removal
+        // de-supports item 1 …
+        let sequences = vec![vec![0, 0, 0], vec![1, 1, 2], vec![0, 0, 0]];
+        let f = five_core(&sequences, 3, 3);
+        assert_eq!(f.num_items, 1); // only item 0 survives
+        assert_eq!(f.sequences.len(), 2);
+    }
+
+    #[test]
+    fn reindexing_is_dense_and_order_preserving() {
+        let sequences = vec![vec![7, 3, 7, 3, 7]];
+        let f = five_core(&sequences, 8, 2);
+        assert_eq!(f.num_items, 2);
+        // First-appearance order: 7→0, 3→1.
+        assert_eq!(f.sequences[0], vec![0, 1, 0, 1, 0]);
+        assert_eq!(f.item_remap[&7], 0);
+        assert_eq!(f.item_remap[&3], 1);
+    }
+
+    #[test]
+    fn empty_input_survives() {
+        let f = five_core(&[], 5, 5);
+        assert_eq!(f.num_items, 0);
+        assert!(f.sequences.is_empty());
+    }
+}

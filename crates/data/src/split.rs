@@ -1,0 +1,104 @@
+//! Leave-one-out evaluation split (§4.2.1): for each user, the last item is
+//! the test target, the second-to-last the validation target, and the rest
+//! is training history.
+
+/// The leave-one-out split of a dataset's sequences.
+#[derive(Clone, Debug)]
+pub struct LeaveOneOut {
+    /// Training prefix per user (everything except the last two items for
+    /// users long enough to have validation + test targets).
+    pub train: Vec<Vec<usize>>,
+    /// Validation target per user (`None` when the sequence is too short).
+    pub valid: Vec<Option<usize>>,
+    /// Test target per user (`None` when the sequence is too short).
+    pub test: Vec<Option<usize>>,
+}
+
+impl LeaveOneOut {
+    /// Splits each sequence. Users need ≥ 3 interactions to contribute both
+    /// validation and test targets; with exactly 2 only a test target is
+    /// held out; shorter users stay train-only.
+    pub fn split(sequences: &[Vec<usize>]) -> Self {
+        let mut train = Vec::with_capacity(sequences.len());
+        let mut valid = Vec::with_capacity(sequences.len());
+        let mut test = Vec::with_capacity(sequences.len());
+        for seq in sequences {
+            match seq.len() {
+                0 | 1 => {
+                    train.push(seq.clone());
+                    valid.push(None);
+                    test.push(None);
+                }
+                2 => {
+                    train.push(vec![seq[0]]);
+                    valid.push(None);
+                    test.push(Some(seq[1]));
+                }
+                n => {
+                    train.push(seq[..n - 2].to_vec());
+                    valid.push(Some(seq[n - 2]));
+                    test.push(Some(seq[n - 1]));
+                }
+            }
+        }
+        LeaveOneOut { train, valid, test }
+    }
+
+    /// The history visible when predicting the *test* item of `user`:
+    /// training prefix plus the validation item (the paper's convention —
+    /// at test time the model sees everything before the held-out item).
+    pub fn test_history(&self, user: usize) -> Vec<usize> {
+        let mut h = self.train[user].clone();
+        if let Some(v) = self.valid[user] {
+            h.push(v);
+        }
+        h
+    }
+
+    /// The history visible when predicting the *validation* item of `user`.
+    pub fn valid_history(&self, user: usize) -> Vec<usize> {
+        self.train[user].clone()
+    }
+
+    /// Users that have a test target.
+    pub fn test_users(&self) -> Vec<usize> {
+        (0..self.test.len())
+            .filter(|&u| self.test[u].is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_split() {
+        let s = LeaveOneOut::split(&[vec![1, 2, 3, 4, 5]]);
+        assert_eq!(s.train[0], vec![1, 2, 3]);
+        assert_eq!(s.valid[0], Some(4));
+        assert_eq!(s.test[0], Some(5));
+        assert_eq!(s.test_history(0), vec![1, 2, 3, 4]);
+        assert_eq!(s.valid_history(0), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn short_sequences() {
+        let s = LeaveOneOut::split(&[vec![7], vec![7, 8], vec![]]);
+        assert_eq!(s.valid[0], None);
+        assert_eq!(s.test[0], None);
+        assert_eq!(s.train[1], vec![7]);
+        assert_eq!(s.test[1], Some(8));
+        assert_eq!(s.test_users(), vec![1]);
+    }
+
+    #[test]
+    fn partition_covers_sequence_exactly() {
+        let seq = vec![3, 1, 4, 1, 5, 9];
+        let s = LeaveOneOut::split(std::slice::from_ref(&seq));
+        let mut rebuilt = s.train[0].clone();
+        rebuilt.push(s.valid[0].unwrap());
+        rebuilt.push(s.test[0].unwrap());
+        assert_eq!(rebuilt, seq);
+    }
+}

@@ -1,0 +1,127 @@
+//! Dataset statistics in the shape of the paper's Tables 3 and 4.
+
+use crate::SequentialDataset;
+
+/// One row of Table 3.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// #Users.
+    pub users: usize,
+    /// #Items.
+    pub items: usize,
+    /// #Interactions.
+    pub interactions: usize,
+    /// Avg. sequence length.
+    pub avg_length: f64,
+    /// Density (%) — interactions / (users · items) · 100.
+    pub density_pct: f64,
+}
+
+/// One row of Table 4.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConceptStats {
+    /// Dataset name.
+    pub name: String,
+    /// #Concepts.
+    pub concepts: usize,
+    /// #Edges of the intention graph.
+    pub edges: usize,
+    /// Avg. concepts per item.
+    pub avg_concepts_per_item: f64,
+}
+
+/// Computes the Table 3 row for a dataset.
+pub fn dataset_stats(d: &SequentialDataset) -> DatasetStats {
+    DatasetStats {
+        name: d.name.clone(),
+        users: d.num_users(),
+        items: d.num_items,
+        interactions: d.num_interactions(),
+        avg_length: d.avg_sequence_length(),
+        density_pct: d.density() * 100.0,
+    }
+}
+
+/// Computes the Table 4 row for a dataset.
+pub fn concept_stats(d: &SequentialDataset) -> ConceptStats {
+    ConceptStats {
+        name: d.name.clone(),
+        concepts: d.num_concepts(),
+        edges: d.concept_graph.num_edges(),
+        avg_concepts_per_item: d.avg_concepts_per_item(),
+    }
+}
+
+/// Renders Table 3 rows as an aligned text table.
+pub fn render_dataset_table(rows: &[DatasetStats]) -> String {
+    let mut out = String::from(
+        "| Dataset        | #Users | #Items | #Interactions | Avg.length | Density |\n\
+         |----------------|--------|--------|---------------|------------|---------|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {:<14} | {:>6} | {:>6} | {:>13} | {:>10.2} | {:>6.2}% |\n",
+            r.name, r.users, r.items, r.interactions, r.avg_length, r.density_pct
+        ));
+    }
+    out
+}
+
+/// Renders Table 4 rows as an aligned text table.
+pub fn render_concept_table(rows: &[ConceptStats]) -> String {
+    let mut out = String::from(
+        "| Dataset        | #Concepts | #Edges | Avg.concepts/item |\n\
+         |----------------|-----------|--------|-------------------|\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "| {:<14} | {:>9} | {:>6} | {:>17.2} |\n",
+            r.name, r.concepts, r.edges, r.avg_concepts_per_item
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_graph::lexicon::Domain;
+    use ist_graph::ConceptGraph;
+
+    fn tiny() -> SequentialDataset {
+        SequentialDataset {
+            name: "tiny".into(),
+            domain: Domain::Movies,
+            sequences: vec![vec![0, 1], vec![1, 0, 1]],
+            num_items: 2,
+            item_concepts: vec![vec![0], vec![0, 1]],
+            concept_graph: ConceptGraph::from_edges(2, &[(0, 1)]),
+            concept_names: vec!["x".into(), "y".into()],
+        }
+    }
+
+    #[test]
+    fn stats_rows() {
+        let d = tiny();
+        let s = dataset_stats(&d);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.interactions, 5);
+        assert!((s.density_pct - 125.0).abs() < 1e-9);
+        let c = concept_stats(&d);
+        assert_eq!(c.concepts, 2);
+        assert_eq!(c.edges, 1);
+        assert!((c.avg_concepts_per_item - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tables_render_all_rows() {
+        let d = tiny();
+        let t3 = render_dataset_table(&[dataset_stats(&d)]);
+        assert!(t3.contains("tiny"));
+        assert_eq!(t3.lines().count(), 3);
+        let t4 = render_concept_table(&[concept_stats(&d)]);
+        assert!(t4.contains("tiny"));
+    }
+}

@@ -1,0 +1,532 @@
+//! The intent-driven synthetic world — this repository's substitute for the
+//! paper's real datasets (see DESIGN.md §2 for the substitution argument).
+//!
+//! Generative process per user:
+//!
+//! 1. draw a connected set of `true_lambda` *latent intents* on the concept
+//!    graph (BFS cluster from a random seed concept);
+//! 2. at each time step, each intent *drifts* to a graph neighbour with
+//!    probability `drift` — the ground-truth **structured intent
+//!    transition**;
+//! 3. the user then interacts with an item: with probability
+//!    `popularity_noise` a popularity (Zipf) draw, otherwise an item
+//!    carrying one of the current intents.
+//!
+//! Items get latent concepts clustered around a centre concept's graph
+//! neighbourhood; synthetic documents mention those concepts and the
+//! keyword extractor ([`crate::text`]) recovers the observable
+//! item–concept matrix `E`, including the paper's rare/frequent filtering.
+//! Finally the 5-core filter ([`crate::preprocess`]) is applied.
+
+use std::collections::HashMap;
+
+use ist_graph::generators::concept_graph;
+use ist_graph::lexicon::Domain;
+use ist_graph::ConceptGraph;
+use ist_tensor::rng::{SeedRng, SeedRngExt as _};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::preprocess::five_core;
+use crate::sampling::WeightedSampler;
+use crate::text::{extract_concepts, generate_document, ExtractorConfig};
+use crate::SequentialDataset;
+
+/// Configuration of one synthetic world.
+#[derive(Clone, Debug)]
+pub struct WorldConfig {
+    /// World name (mirrors the paper's dataset it imitates).
+    pub name: String,
+    /// Lexicon domain.
+    pub domain: Domain,
+    /// Users generated before 5-core filtering.
+    pub num_users: usize,
+    /// Items generated before 5-core filtering.
+    pub num_items: usize,
+    /// Concepts in the latent lexicon (before extraction filtering).
+    pub num_concepts: usize,
+    /// Topical communities in the concept graph.
+    pub communities: usize,
+    /// Target average degree of the concept graph (Table 4).
+    pub avg_degree: f64,
+    /// Mean latent concepts per item (Table 4's Avg.concepts/item).
+    pub concepts_per_item: f64,
+    /// Ground-truth number of simultaneously active intents per user.
+    pub true_lambda: usize,
+    /// Per-step probability that each active intent drifts to a neighbour.
+    pub drift: f64,
+    /// Probability that a step is popularity-driven rather than
+    /// intent-driven (dense MovieLens-like worlds set this high, which is
+    /// why intent modelling helps them less — the paper's §4.3 observation).
+    pub popularity_noise: f64,
+    /// Probability that an intent-driven step follows the *graph
+    /// transition*: the concept used is a graph neighbour of the previous
+    /// step's concept rather than a uniformly drawn active intent. This is
+    /// the structured-transition signal ISRec's GCN is built to capture;
+    /// sparse worlds set it high, dense ML-like worlds low.
+    pub transition_focus: f64,
+    /// Mean sequence length (Table 3's Avg.length).
+    pub mean_seq_len: f64,
+    /// Minimum sequence length before filtering.
+    pub min_seq_len: usize,
+    /// Zipf exponent of item popularity.
+    pub zipf_s: f64,
+    /// Concept-extraction thresholds.
+    pub extractor: ExtractorConfig,
+}
+
+impl WorldConfig {
+    fn base(name: &str, domain: Domain) -> Self {
+        WorldConfig {
+            name: name.to_string(),
+            domain,
+            num_users: 400,
+            num_items: 400,
+            num_concepts: 48,
+            communities: 6,
+            avg_degree: 6.0,
+            concepts_per_item: 4.0,
+            true_lambda: 3,
+            drift: 0.25,
+            popularity_noise: 0.2,
+            mean_seq_len: 10.0,
+            min_seq_len: 5,
+            zipf_s: 1.0,
+            transition_focus: 0.6,
+            extractor: ExtractorConfig::default(),
+        }
+    }
+
+    /// Amazon-Beauty-like: more items than active users, short sequences,
+    /// very sparse, strongly intent-driven, richest concept vocabulary.
+    pub fn beauty_like() -> Self {
+        WorldConfig {
+            num_users: 1400,
+            num_items: 900,
+            num_concepts: 64,
+            communities: 8,
+            avg_degree: 5.0,
+            concepts_per_item: 4.45,
+            mean_seq_len: 8.8,
+            drift: 0.3,
+            popularity_noise: 0.15,
+            transition_focus: 0.75,
+            ..Self::base("beauty-like", Domain::Beauty)
+        }
+    }
+
+    /// Steam-like: many users over few items, short sequences, strong
+    /// intent drive (the paper's biggest ISRec gain).
+    pub fn steam_like() -> Self {
+        WorldConfig {
+            num_users: 2200,
+            num_items: 400,
+            num_concepts: 48,
+            communities: 6,
+            avg_degree: 3.0,
+            concepts_per_item: 4.49,
+            mean_seq_len: 12.4,
+            drift: 0.3,
+            popularity_noise: 0.12,
+            transition_focus: 0.8,
+            ..Self::base("steam-like", Domain::Games)
+        }
+    }
+
+    /// Epinions-like: the smallest and sparsest world.
+    pub fn epinions_like() -> Self {
+        WorldConfig {
+            num_users: 1000,
+            num_items: 650,
+            num_concepts: 40,
+            communities: 5,
+            avg_degree: 4.5,
+            concepts_per_item: 5.5,
+            mean_seq_len: 6.5,
+            drift: 0.25,
+            popularity_noise: 0.2,
+            transition_focus: 0.7,
+            ..Self::base("epinions-like", Domain::Consumer)
+        }
+    }
+
+    /// ML-1m-like: dense, long sequences, choice dominated by popularity /
+    /// co-occurrence — intent modelling helps, but less (paper §4.3).
+    pub fn ml1m_like() -> Self {
+        WorldConfig {
+            num_users: 700,
+            num_items: 330,
+            num_concepts: 36,
+            communities: 5,
+            avg_degree: 4.0,
+            concepts_per_item: 1.94,
+            mean_seq_len: 45.0,
+            drift: 0.08,
+            popularity_noise: 0.45,
+            transition_focus: 0.25,
+            ..Self::base("ml1m-like", Domain::Movies)
+        }
+    }
+
+    /// ML-20m-like: the largest, moderately dense world.
+    pub fn ml20m_like() -> Self {
+        WorldConfig {
+            num_users: 1100,
+            num_items: 500,
+            num_concepts: 56,
+            communities: 7,
+            avg_degree: 3.5,
+            concepts_per_item: 4.21,
+            mean_seq_len: 30.0,
+            drift: 0.1,
+            popularity_noise: 0.4,
+            transition_focus: 0.3,
+            ..Self::base("ml20m-like", Domain::Movies)
+        }
+    }
+
+    /// The five worlds of Table 2, in the paper's order.
+    pub fn all_worlds() -> Vec<WorldConfig> {
+        vec![
+            Self::beauty_like(),
+            Self::steam_like(),
+            Self::epinions_like(),
+            Self::ml1m_like(),
+            Self::ml20m_like(),
+        ]
+    }
+
+    /// Scales user/item counts by `f` (for quick tests or bigger runs).
+    pub fn scaled(mut self, f: f64) -> Self {
+        self.num_users = ((self.num_users as f64 * f).round() as usize).max(20);
+        self.num_items = ((self.num_items as f64 * f).round() as usize).max(20);
+        self
+    }
+}
+
+/// The synthetic world generator.
+pub struct IntentWorld {
+    /// The configuration being generated.
+    pub config: WorldConfig,
+}
+
+/// Ground-truth trace kept for diagnostics: the intents a user held at each
+/// step (before extraction noise).
+pub struct GroundTruth {
+    /// `intents[u][t]` = sorted active concepts of user `u` at step `t`.
+    pub intents: Vec<Vec<Vec<usize>>>,
+}
+
+impl IntentWorld {
+    /// New generator for `config`.
+    pub fn new(config: WorldConfig) -> Self {
+        IntentWorld { config }
+    }
+
+    /// Generates the dataset (deterministic in `seed`).
+    pub fn generate(&self, seed: u64) -> SequentialDataset {
+        self.generate_with_truth(seed).0
+    }
+
+    /// Generates the dataset together with the ground-truth intent traces
+    /// (used by diagnostics and the generator-ablation bench).
+    pub fn generate_with_truth(&self, seed: u64) -> (SequentialDataset, GroundTruth) {
+        let cfg = &self.config;
+        let mut rng = SeedRng::seed(seed);
+
+        // --- Concept graph & lexicon -----------------------------------
+        let graph = concept_graph(cfg.num_concepts, cfg.communities, cfg.avg_degree, &mut rng);
+        let names = cfg.domain.concept_names(cfg.num_concepts);
+        let lexicon: HashMap<String, usize> = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+
+        // --- Latent item concepts ---------------------------------------
+        let latent_item_concepts: Vec<Vec<usize>> = (0..cfg.num_items)
+            .map(|_| sample_item_concepts(&graph, cfg.concepts_per_item, &mut rng))
+            .collect();
+
+        // Popularity: Zipf over a random permutation of items.
+        let mut rank_of: Vec<usize> = (0..cfg.num_items).collect();
+        rank_of.shuffle(&mut rng);
+        let weights: Vec<f64> = rank_of
+            .iter()
+            .map(|&r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_s))
+            .collect();
+        let pop_sampler = WeightedSampler::new(&weights);
+
+        // Inverted index concept → items carrying it (latently).
+        let mut items_with: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_concepts];
+        for (it, cs) in latent_item_concepts.iter().enumerate() {
+            for &c in cs {
+                items_with[c].push(it);
+            }
+        }
+
+        // --- User sequences via drifting intents ------------------------
+        let mut sequences: Vec<Vec<usize>> = Vec::with_capacity(cfg.num_users);
+        let mut truth: Vec<Vec<Vec<usize>>> = Vec::with_capacity(cfg.num_users);
+        for _ in 0..cfg.num_users {
+            let len = sample_length(cfg.mean_seq_len, cfg.min_seq_len, &mut rng);
+            let mut intents = seed_intents(&graph, cfg.true_lambda, &mut rng);
+            let mut seq = Vec::with_capacity(len);
+            let mut trace = Vec::with_capacity(len);
+            let mut last_concept: Option<usize> = None;
+            for _ in 0..len {
+                drift_intents(&graph, &mut intents, cfg.drift, &mut rng);
+                let item = if rng.gen::<f64>() < cfg.popularity_noise {
+                    last_concept = None;
+                    pop_sampler.sample(&mut rng)
+                } else {
+                    // Structured transition: follow a graph edge from the
+                    // previous step's concept; otherwise draw an active
+                    // intent. This concept-level Markov walk on G is the
+                    // signal the paper's GCN transition models.
+                    let c = match last_concept {
+                        Some(lc)
+                            if rng.gen::<f64>() < cfg.transition_focus
+                                && !graph.neighbors(lc).is_empty() =>
+                        {
+                            let nb = graph.neighbors(lc);
+                            nb[rng.gen_range(0..nb.len())]
+                        }
+                        _ => intents[rng.gen_range(0..intents.len())],
+                    };
+                    last_concept = Some(c);
+                    if items_with[c].is_empty() {
+                        pop_sampler.sample(&mut rng)
+                    } else {
+                        items_with[c][rng.gen_range(0..items_with[c].len())]
+                    }
+                };
+                seq.push(item);
+                let mut snapshot = intents.clone();
+                snapshot.sort_unstable();
+                trace.push(snapshot);
+            }
+            sequences.push(seq);
+            truth.push(trace);
+        }
+
+        // --- Documents & concept extraction ------------------------------
+        let docs: Vec<_> = latent_item_concepts
+            .iter()
+            .map(|cs| {
+                let cnames: Vec<&str> = cs.iter().map(|&c| names[c].as_str()).collect();
+                generate_document(&cnames, &mut rng)
+            })
+            .collect();
+        let extraction = extract_concepts(&docs, &lexicon, &names, cfg.extractor);
+        let kept_graph = graph.induced(&extraction.kept_original_ids);
+
+        // --- 5-core filtering & reindexing -------------------------------
+        let core = five_core(&sequences, cfg.num_items, 5);
+        let mut item_concepts = vec![Vec::new(); core.num_items];
+        for (&old, &new) in &core.item_remap {
+            item_concepts[new] = extraction.item_concepts[old].clone();
+        }
+        let kept_truth = core.kept_users.iter().map(|&u| truth[u].clone()).collect();
+
+        let ds = SequentialDataset {
+            name: cfg.name.clone(),
+            domain: cfg.domain,
+            sequences: core.sequences,
+            num_items: core.num_items,
+            item_concepts,
+            concept_graph: kept_graph,
+            concept_names: extraction.kept_names,
+        };
+        debug_assert!(ds.validate().is_ok(), "{:?}", ds.validate());
+        (
+            ds,
+            GroundTruth {
+                intents: kept_truth,
+            },
+        )
+    }
+}
+
+/// Clustered item concepts: a centre concept plus neighbours/2-hop picks.
+fn sample_item_concepts(g: &ConceptGraph, mean: f64, rng: &mut SeedRng) -> Vec<usize> {
+    let k = g.num_nodes();
+    let count = ((mean + rng.gen_range(-1.0..1.0)).round() as i64).max(1) as usize;
+    let count = count.min(k);
+    let center = rng.gen_range(0..k);
+    let mut chosen = vec![center];
+    let mut frontier: Vec<usize> = g.neighbors(center).to_vec();
+    while chosen.len() < count {
+        if frontier.is_empty() {
+            // Fill from anywhere (disconnected or tiny neighbourhoods).
+            let c = rng.gen_range(0..k);
+            if !chosen.contains(&c) {
+                chosen.push(c);
+            }
+            continue;
+        }
+        let idx = rng.gen_range(0..frontier.len());
+        let c = frontier.swap_remove(idx);
+        if !chosen.contains(&c) {
+            chosen.push(c);
+            frontier.extend(
+                g.neighbors(c)
+                    .iter()
+                    .copied()
+                    .filter(|x| !chosen.contains(x)),
+            );
+        }
+    }
+    chosen.sort_unstable();
+    chosen.dedup();
+    chosen
+}
+
+/// A connected-ish starting intent set: BFS cluster from a random concept.
+fn seed_intents(g: &ConceptGraph, lambda: usize, rng: &mut SeedRng) -> Vec<usize> {
+    let k = g.num_nodes();
+    let lambda = lambda.min(k).max(1);
+    let start = rng.gen_range(0..k);
+    let mut intents = vec![start];
+    let mut frontier: Vec<usize> = g.neighbors(start).to_vec();
+    while intents.len() < lambda {
+        if frontier.is_empty() {
+            let c = rng.gen_range(0..k);
+            if !intents.contains(&c) {
+                intents.push(c);
+            }
+            continue;
+        }
+        let idx = rng.gen_range(0..frontier.len());
+        let c = frontier.swap_remove(idx);
+        if !intents.contains(&c) {
+            intents.push(c);
+            frontier.extend(
+                g.neighbors(c)
+                    .iter()
+                    .copied()
+                    .filter(|x| !intents.contains(x)),
+            );
+        }
+    }
+    intents
+}
+
+/// Structured drift: each intent hops to a uniform graph neighbour with
+/// probability `drift`, avoiding collisions with other active intents.
+fn drift_intents(g: &ConceptGraph, intents: &mut [usize], drift: f64, rng: &mut SeedRng) {
+    for i in 0..intents.len() {
+        if rng.gen::<f64>() < drift {
+            let nb = g.neighbors(intents[i]);
+            if nb.is_empty() {
+                continue;
+            }
+            let cand = nb[rng.gen_range(0..nb.len())];
+            if !intents.contains(&cand) {
+                intents[i] = cand;
+            }
+        }
+    }
+}
+
+/// Shifted-geometric sequence length with the requested mean.
+fn sample_length(mean: f64, min: usize, rng: &mut SeedRng) -> usize {
+    let extra_mean = (mean - min as f64).max(0.5);
+    let p = 1.0 / (extra_mean + 1.0);
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    let extra = (u.ln() / (1.0 - p).ln()).floor() as usize;
+    min + extra
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_world() -> WorldConfig {
+        WorldConfig {
+            num_users: 80,
+            num_items: 60,
+            ..WorldConfig::base("tiny", Domain::Beauty)
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let w = IntentWorld::new(tiny_world());
+        let a = w.generate(5);
+        let b = w.generate(5);
+        assert_eq!(a.sequences, b.sequences);
+        assert_eq!(a.item_concepts, b.item_concepts);
+        let c = w.generate(6);
+        assert_ne!(a.sequences, c.sequences, "different seeds must differ");
+    }
+
+    #[test]
+    fn five_core_property_holds() {
+        let ds = IntentWorld::new(tiny_world()).generate(1);
+        assert!(ds.validate().is_ok());
+        let pop = ds.item_popularity();
+        assert!(
+            pop.iter().all(|&c| c >= 5),
+            "item below 5-core: {:?}",
+            pop.iter().min()
+        );
+        assert!(ds.sequences.iter().all(|s| s.len() >= 5));
+    }
+
+    #[test]
+    fn concepts_are_extracted_for_most_items() {
+        let ds = IntentWorld::new(tiny_world()).generate(2);
+        let with = ds.item_concepts.iter().filter(|c| !c.is_empty()).count();
+        assert!(
+            with * 10 >= ds.num_items * 8,
+            "{with}/{} items have concepts",
+            ds.num_items
+        );
+        assert!(ds.num_concepts() > 10);
+        assert!(ds.concept_graph.num_edges() > 0);
+    }
+
+    #[test]
+    fn ground_truth_aligns_with_sequences() {
+        let (ds, gt) = IntentWorld::new(tiny_world()).generate_with_truth(3);
+        assert_eq!(gt.intents.len(), ds.num_users());
+        for (u, seq) in ds.sequences.iter().enumerate() {
+            // Trace covers the pre-filter sequence, which is at least as
+            // long as the filtered one.
+            assert!(gt.intents[u].len() >= seq.len());
+        }
+    }
+
+    #[test]
+    fn named_worlds_match_relative_statistics() {
+        let beauty = IntentWorld::new(WorldConfig::beauty_like().scaled(0.4)).generate(7);
+        let ml = IntentWorld::new(WorldConfig::ml1m_like().scaled(0.4)).generate(7);
+        // Beauty-like is sparser and shorter than ML-like (Table 3 shape).
+        assert!(beauty.density() < ml.density());
+        assert!(beauty.avg_sequence_length() < ml.avg_sequence_length());
+        // Concept richness ordering (Table 4 shape).
+        assert!(beauty.avg_concepts_per_item() > ml.avg_concepts_per_item());
+    }
+
+    #[test]
+    fn drift_respects_graph_edges() {
+        let g = ConceptGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let mut rng = SeedRng::seed(1);
+        for _ in 0..200 {
+            let mut intents = vec![0usize];
+            drift_intents(&g, &mut intents, 1.0, &mut rng);
+            // From node 0 the only neighbour is 1.
+            assert!(intents[0] == 0 || intents[0] == 1);
+        }
+    }
+
+    #[test]
+    fn length_sampler_mean_is_close() {
+        let mut rng = SeedRng::seed(2);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_length(12.0, 5, &mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 12.0).abs() < 0.5, "mean {mean}");
+    }
+}

@@ -1,0 +1,279 @@
+//! Synthetic item descriptions and keyword-based concept extraction.
+//!
+//! Mirrors §4.1 of the paper: item titles/review texts are scanned for
+//! n-grams that exist in the concept lexicon (our ConceptNet stand-in);
+//! extremely rare concepts (< `rare_threshold` of items) and
+//! domain-frequent concepts (> `frequent_threshold`) are filtered out, and
+//! the survivors form the item–concept matrix `E`.
+
+use std::collections::HashMap;
+
+use ist_graph::lexicon::Domain;
+use ist_tensor::rng::SeedRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A synthetic "title + review" document for one item.
+#[derive(Clone, Debug)]
+pub struct ItemDocument {
+    /// Space-separated pseudo-title.
+    pub title: String,
+    /// Space-separated pseudo-review body.
+    pub review: String,
+}
+
+/// Generates a document for an item given its latent concept names.
+///
+/// The title mentions a couple of the concepts; the review mentions most of
+/// them (each with ≥1 occurrence) interleaved with noise words, so a
+/// keyword extractor can recover the concept set.
+pub fn generate_document(concept_names: &[&str], rng: &mut SeedRng) -> ItemDocument {
+    let noise = Domain::noise_words();
+    let mut title_words: Vec<&str> = Vec::new();
+    for (i, name) in concept_names.iter().enumerate() {
+        if i < 2 {
+            title_words.push(name);
+        }
+    }
+    title_words.push(noise[rng.gen_range(0..noise.len())]);
+
+    let mut review_words: Vec<&str> = Vec::new();
+    for name in concept_names {
+        review_words.push(name);
+        // Occasionally mention a concept twice, as real reviews do.
+        if rng.gen::<f32>() < 0.3 {
+            review_words.push(name);
+        }
+    }
+    let n_noise = 3 + rng.gen_range(0..6);
+    for _ in 0..n_noise {
+        review_words.push(noise[rng.gen_range(0..noise.len())]);
+    }
+    review_words.shuffle(rng);
+
+    ItemDocument {
+        title: title_words.join(" "),
+        review: review_words.join(" "),
+    }
+}
+
+/// Configuration of the concept extractor.
+#[derive(Clone, Copy, Debug)]
+pub struct ExtractorConfig {
+    /// Drop concepts appearing in fewer than this fraction of items
+    /// (paper: 0.5 %).
+    pub rare_threshold: f64,
+    /// Drop concepts appearing in more than this fraction of items
+    /// (the paper's manual "domain-dependent frequent concepts" filter,
+    /// realised as a threshold).
+    pub frequent_threshold: f64,
+}
+
+impl Default for ExtractorConfig {
+    fn default() -> Self {
+        ExtractorConfig {
+            rare_threshold: 0.005,
+            frequent_threshold: 0.5,
+        }
+    }
+}
+
+/// Output of [`extract_concepts`].
+#[derive(Clone, Debug)]
+pub struct Extraction {
+    /// Names of the kept concepts (new dense ids are indices here).
+    pub kept_names: Vec<String>,
+    /// For each kept concept, its id in the original lexicon ordering.
+    pub kept_original_ids: Vec<usize>,
+    /// Sorted kept-concept ids per item — the sparse `E` matrix.
+    pub item_concepts: Vec<Vec<usize>>,
+}
+
+/// Maps each document's tokens onto the lexicon and applies the frequency
+/// filters, producing the item–concept matrix.
+///
+/// `lexicon` maps concept name → original concept id.
+pub fn extract_concepts(
+    docs: &[ItemDocument],
+    lexicon: &HashMap<String, usize>,
+    lexicon_names: &[String],
+    config: ExtractorConfig,
+) -> Extraction {
+    let n_items = docs.len();
+    // Pass 1: match tokens, collect document frequency per concept.
+    let mut per_item: Vec<Vec<usize>> = Vec::with_capacity(n_items);
+    let mut doc_freq: HashMap<usize, usize> = HashMap::new();
+    for doc in docs {
+        let mut found: Vec<usize> = doc
+            .title
+            .split_whitespace()
+            .chain(doc.review.split_whitespace())
+            .filter_map(|tok| lexicon.get(tok).copied())
+            .collect();
+        found.sort_unstable();
+        found.dedup();
+        for &c in &found {
+            *doc_freq.entry(c).or_insert(0) += 1;
+        }
+        per_item.push(found);
+    }
+
+    // Pass 2: frequency filters.
+    let lo = (config.rare_threshold * n_items as f64).ceil().max(1.0) as usize;
+    let hi = (config.frequent_threshold * n_items as f64).floor() as usize;
+    let mut kept_original_ids: Vec<usize> = doc_freq
+        .iter()
+        .filter(|&(_, &df)| df >= lo && df <= hi)
+        .map(|(&c, _)| c)
+        .collect();
+    kept_original_ids.sort_unstable();
+    let remap: HashMap<usize, usize> = kept_original_ids
+        .iter()
+        .enumerate()
+        .map(|(new, &old)| (old, new))
+        .collect();
+
+    let item_concepts = per_item
+        .into_iter()
+        .map(|cs| {
+            let mut out: Vec<usize> = cs
+                .into_iter()
+                .filter_map(|c| remap.get(&c).copied())
+                .collect();
+            out.sort_unstable();
+            out
+        })
+        .collect();
+
+    let kept_names = kept_original_ids
+        .iter()
+        .map(|&c| lexicon_names[c].clone())
+        .collect();
+    Extraction {
+        kept_names,
+        kept_original_ids,
+        item_concepts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::rng::SeedRngExt as _;
+
+    fn lexicon3() -> (HashMap<String, usize>, Vec<String>) {
+        let names: Vec<String> = vec!["skin".into(), "wrinkle".into(), "serum".into()];
+        let map = names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i))
+            .collect();
+        (map, names)
+    }
+
+    #[test]
+    fn document_mentions_all_concepts() {
+        let mut rng = SeedRng::seed(1);
+        let doc = generate_document(&["skin", "wrinkle"], &mut rng);
+        let text = format!("{} {}", doc.title, doc.review);
+        assert!(text.contains("skin"));
+        assert!(text.contains("wrinkle"));
+    }
+
+    #[test]
+    fn extraction_recovers_concepts_and_ignores_noise() {
+        let (lex, names) = lexicon3();
+        let docs = vec![
+            ItemDocument {
+                title: "skin really".into(),
+                review: "serum love skin".into(),
+            },
+            ItemDocument {
+                title: "wrinkle".into(),
+                review: "bought wrinkle stuff".into(),
+            },
+        ];
+        let ex = extract_concepts(
+            &docs,
+            &lex,
+            &names,
+            ExtractorConfig {
+                rare_threshold: 0.0,
+                frequent_threshold: 1.0,
+            },
+        );
+        assert_eq!(ex.kept_names, vec!["skin", "wrinkle", "serum"]);
+        assert_eq!(ex.item_concepts[0], vec![0, 2]);
+        assert_eq!(ex.item_concepts[1], vec![1]);
+    }
+
+    #[test]
+    fn rare_filter_drops_singletons() {
+        let (lex, names) = lexicon3();
+        let mut docs = vec![
+            ItemDocument {
+                title: "skin".into(),
+                review: "skin".into()
+            };
+            100
+        ];
+        docs[0].review = "skin wrinkle".into(); // wrinkle appears once in 100
+        let ex = extract_concepts(
+            &docs,
+            &lex,
+            &names,
+            ExtractorConfig {
+                rare_threshold: 0.05, // needs ≥ 5 docs
+                frequent_threshold: 1.0,
+            },
+        );
+        assert_eq!(ex.kept_names, vec!["skin"]);
+        assert!(ex.item_concepts[0].len() == 1);
+    }
+
+    #[test]
+    fn frequent_filter_drops_ubiquitous() {
+        let (lex, names) = lexicon3();
+        let docs: Vec<ItemDocument> = (0..10)
+            .map(|i| ItemDocument {
+                title: "skin".into(),
+                review: if i < 3 { "serum".into() } else { String::new() },
+            })
+            .collect();
+        let ex = extract_concepts(
+            &docs,
+            &lex,
+            &names,
+            ExtractorConfig {
+                rare_threshold: 0.0,
+                frequent_threshold: 0.5, // "skin" in 100% of docs → dropped
+            },
+        );
+        assert_eq!(ex.kept_names, vec!["serum"]);
+    }
+
+    #[test]
+    fn ids_are_dense_and_sorted() {
+        let (lex, names) = lexicon3();
+        let docs = vec![
+            ItemDocument {
+                title: "serum skin".into(),
+                review: "skin".into()
+            };
+            4
+        ];
+        let ex = extract_concepts(
+            &docs,
+            &lex,
+            &names,
+            ExtractorConfig {
+                rare_threshold: 0.0,
+                frequent_threshold: 1.0,
+            },
+        );
+        for cs in &ex.item_concepts {
+            assert!(cs.windows(2).all(|w| w[0] < w[1]));
+            assert!(cs.iter().all(|&c| c < ex.kept_names.len()));
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # ist-eval
+//!
+//! The paper's evaluation harness: leave-one-out protocol with 100 sampled
+//! negatives (§4.2.1), HR@k / NDCG@k / MRR metrics (Eq. 15–17), a model
+//! registry covering every method in Table 2/5, an experiment runner, and
+//! table renderers matching the paper's layout.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod models;
+pub mod protocol;
+pub mod report;
+pub mod runner;
+
+pub use metrics::{MetricSet, Ranking};
+pub use models::ModelSpec;
+pub use protocol::{EvalProtocol, ProtocolConfig};
+pub use runner::{run_model, run_suite, CellResult};

@@ -1,0 +1,191 @@
+//! Ranking metrics (Eq. 15–17): Hit Rate, NDCG and MRR under the
+//! single-positive leave-one-out protocol.
+//!
+//! Ties are handled with the *mid-rank* convention: the positive's rank is
+//! `1 + #{better} + #{equal others}/2`, which is deterministic and neither
+//! rewards nor punishes models that emit constant scores (PopRec on unseen
+//! items, say).
+
+/// The rank of the single positive among its candidate list.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ranking {
+    /// Mid-tie fractional rank, 1-based (1.0 = best).
+    pub rank: f64,
+}
+
+impl Ranking {
+    /// Computes the positive's rank from raw scores. `positive_index` is
+    /// the position of the ground-truth item inside `scores`.
+    pub fn from_scores(scores: &[f32], positive_index: usize) -> Self {
+        let pos = scores[positive_index];
+        let mut better = 0usize;
+        let mut equal = 0usize;
+        for (i, &s) in scores.iter().enumerate() {
+            if i == positive_index {
+                continue;
+            }
+            if s > pos {
+                better += 1;
+            } else if s == pos {
+                equal += 1;
+            }
+        }
+        Ranking {
+            rank: 1.0 + better as f64 + equal as f64 / 2.0,
+        }
+    }
+
+    /// HR@k contribution (Eq. 15): 1 when the positive lands in the top-k.
+    pub fn hit(&self, k: usize) -> f64 {
+        if self.rank <= k as f64 {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// NDCG@k contribution (Eq. 16). With a single relevant item the ideal
+    /// DCG is 1, so NDCG = 1/log₂(rank+1) inside the top-k, else 0.
+    pub fn ndcg(&self, k: usize) -> f64 {
+        if self.rank <= k as f64 {
+            1.0 / (self.rank + 1.0).log2()
+        } else {
+            0.0
+        }
+    }
+
+    /// Reciprocal-rank contribution (Eq. 17).
+    pub fn reciprocal_rank(&self) -> f64 {
+        1.0 / self.rank
+    }
+}
+
+/// The six-figure metric set the paper reports per (model, dataset).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MetricSet {
+    /// HR@1 (= NDCG@1).
+    pub hr1: f64,
+    /// HR@5.
+    pub hr5: f64,
+    /// HR@10.
+    pub hr10: f64,
+    /// NDCG@5.
+    pub ndcg5: f64,
+    /// NDCG@10.
+    pub ndcg10: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+}
+
+impl MetricSet {
+    /// Averages per-user rankings into the metric set.
+    pub fn from_rankings(rankings: &[Ranking]) -> Self {
+        if rankings.is_empty() {
+            return MetricSet::default();
+        }
+        let n = rankings.len() as f64;
+        let mut m = MetricSet::default();
+        for r in rankings {
+            m.hr1 += r.hit(1);
+            m.hr5 += r.hit(5);
+            m.hr10 += r.hit(10);
+            m.ndcg5 += r.ndcg(5);
+            m.ndcg10 += r.ndcg(10);
+            m.mrr += r.reciprocal_rank();
+        }
+        m.hr1 /= n;
+        m.hr5 /= n;
+        m.hr10 /= n;
+        m.ndcg5 /= n;
+        m.ndcg10 /= n;
+        m.mrr /= n;
+        m
+    }
+
+    /// The metrics as `(name, value)` pairs in the paper's row order.
+    pub fn named(&self) -> [(&'static str, f64); 6] {
+        [
+            ("HR@1", self.hr1),
+            ("HR@5", self.hr5),
+            ("HR@10", self.hr10),
+            ("NDCG@5", self.ndcg5),
+            ("NDCG@10", self.ndcg10),
+            ("MRR", self.mrr),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_counts_better_scores() {
+        // positive at index 0 with score 0.5; two better, one worse.
+        let r = Ranking::from_scores(&[0.5, 0.9, 0.7, 0.1], 0);
+        assert_eq!(r.rank, 3.0);
+        assert_eq!(r.hit(1), 0.0);
+        assert_eq!(r.hit(5), 1.0);
+        assert!((r.ndcg(5) - 0.5).abs() < 1e-12); // 1/log2(4) = 0.5
+        assert!((r.reciprocal_rank() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn best_rank_gives_perfect_metrics() {
+        let r = Ranking::from_scores(&[5.0, 1.0, 2.0], 0);
+        assert_eq!(r.rank, 1.0);
+        assert_eq!(r.hit(1), 1.0);
+        assert_eq!(r.ndcg(10), 1.0);
+        assert_eq!(r.reciprocal_rank(), 1.0);
+    }
+
+    #[test]
+    fn ties_use_mid_rank() {
+        // All equal: positive sits in the middle of 5 candidates.
+        let r = Ranking::from_scores(&[1.0; 5], 2);
+        assert_eq!(r.rank, 3.0);
+    }
+
+    #[test]
+    fn metric_set_averages() {
+        let rs = vec![
+            Ranking { rank: 1.0 },
+            Ranking { rank: 11.0 }, // outside every top-k we report
+        ];
+        let m = MetricSet::from_rankings(&rs);
+        assert!((m.hr1 - 0.5).abs() < 1e-12);
+        assert!((m.hr10 - 0.5).abs() < 1e-12);
+        assert!((m.ndcg10 - 0.5).abs() < 1e-12);
+        assert!((m.mrr - (1.0 + 1.0 / 11.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_and_monotonicity() {
+        for rank in [1.0f64, 2.0, 5.0, 50.0] {
+            let r = Ranking { rank };
+            for k in [1usize, 5, 10] {
+                assert!((0.0..=1.0).contains(&r.hit(k)));
+                assert!((0.0..=1.0).contains(&r.ndcg(k)));
+            }
+            assert!(
+                r.hit(1) <= r.hit(5) && r.hit(5) <= r.hit(10),
+                "HR monotone in k"
+            );
+            assert!(r.ndcg(5) <= r.ndcg(10) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hr1_equals_ndcg1_footnote() {
+        // The paper's footnote 8: NDCG@1 == HR@1.
+        for rank in [1.0f64, 1.5, 2.0, 3.0] {
+            let r = Ranking { rank };
+            assert_eq!(r.hit(1), r.ndcg(1));
+        }
+    }
+
+    #[test]
+    fn empty_rankings_are_zero() {
+        assert_eq!(MetricSet::from_rankings(&[]), MetricSet::default());
+    }
+}

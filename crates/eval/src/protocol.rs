@@ -1,0 +1,242 @@
+//! The leave-one-out + 100-negatives ranking protocol of §4.2.1.
+
+use std::collections::HashSet;
+
+use isrec_core::SequentialRecommender;
+use ist_data::sampling::sample_negatives;
+use ist_data::{LeaveOneOut, SequentialDataset};
+use ist_tensor::rng::{SeedRng, SeedRngExt as _};
+
+use crate::metrics::{MetricSet, Ranking};
+
+/// Protocol parameters.
+#[derive(Clone, Debug)]
+pub struct ProtocolConfig {
+    /// Negatives sampled per test user (paper: 100).
+    pub num_negatives: usize,
+    /// Cap on evaluated users (0 = all); sampling keeps runs fast at equal
+    /// comparability since every model sees the same users and negatives.
+    pub max_users: usize,
+    /// Seed for negative sampling and user subsampling.
+    pub seed: u64,
+    /// Evaluate against the validation target instead of the test target.
+    pub use_validation: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            num_negatives: 100,
+            max_users: 0,
+            seed: 777,
+            use_validation: false,
+        }
+    }
+}
+
+/// A reusable, pre-sampled evaluation task set: for each evaluated user,
+/// the history, the positive and the fixed negatives. Pre-sampling once
+/// guarantees every model ranks the *same* 101 items per user.
+pub struct EvalProtocol {
+    /// Dataset user ids being evaluated.
+    pub users: Vec<usize>,
+    /// Visible history per user.
+    pub histories: Vec<Vec<usize>>,
+    /// Candidate lists per user; index 0 is always the positive.
+    pub candidates: Vec<Vec<usize>>,
+}
+
+impl EvalProtocol {
+    /// Builds the protocol tasks from a split.
+    pub fn build(
+        dataset: &SequentialDataset,
+        split: &LeaveOneOut,
+        config: &ProtocolConfig,
+    ) -> Self {
+        let mut rng = SeedRng::seed(config.seed);
+        let mut users: Vec<usize> = (0..dataset.num_users())
+            .filter(|&u| {
+                if config.use_validation {
+                    split.valid[u].is_some()
+                } else {
+                    split.test[u].is_some()
+                }
+            })
+            .collect();
+        if config.max_users > 0 && users.len() > config.max_users {
+            // Deterministic stride subsample (stable across models/runs).
+            let stride = users.len() as f64 / config.max_users as f64;
+            users = (0..config.max_users)
+                .map(|i| users[(i as f64 * stride) as usize])
+                .collect();
+        }
+
+        let mut histories = Vec::with_capacity(users.len());
+        let mut candidates = Vec::with_capacity(users.len());
+        for &u in &users {
+            let (history, positive) = if config.use_validation {
+                (split.valid_history(u), split.valid[u].expect("filtered"))
+            } else {
+                (split.test_history(u), split.test[u].expect("filtered"))
+            };
+            // Negatives must avoid everything the user interacted with.
+            let mut exclude: HashSet<usize> = dataset.sequences[u].iter().copied().collect();
+            exclude.insert(positive);
+            let n = config
+                .num_negatives
+                .min(dataset.num_items.saturating_sub(exclude.len()));
+            let negs = sample_negatives(dataset.num_items, &exclude, n, &mut rng);
+            let mut cands = Vec::with_capacity(1 + negs.len());
+            cands.push(positive);
+            cands.extend(negs);
+            histories.push(history);
+            candidates.push(cands);
+        }
+        EvalProtocol {
+            users,
+            histories,
+            candidates,
+        }
+    }
+
+    /// Number of evaluation tasks.
+    pub fn len(&self) -> usize {
+        self.users.len()
+    }
+
+    /// True when no user qualifies.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// Ranks every task with `model` and aggregates the metric set.
+    pub fn evaluate(&self, model: &dyn SequentialRecommender) -> MetricSet {
+        let hist_refs: Vec<&[usize]> = self.histories.iter().map(|h| h.as_slice()).collect();
+        let cand_refs: Vec<&[usize]> = self.candidates.iter().map(|c| c.as_slice()).collect();
+        let scores = model.score_batch(&self.users, &hist_refs, &cand_refs);
+        let rankings: Vec<Ranking> = scores.iter().map(|s| Ranking::from_scores(s, 0)).collect();
+        MetricSet::from_rankings(&rankings)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use isrec_core::{TrainConfig, TrainReport};
+
+    struct Oracle {
+        split: LeaveOneOut,
+    }
+
+    impl SequentialRecommender for Oracle {
+        fn name(&self) -> String {
+            "Oracle".into()
+        }
+        fn fit(
+            &mut self,
+            _d: &SequentialDataset,
+            _s: &LeaveOneOut,
+            _t: &TrainConfig,
+        ) -> TrainReport {
+            TrainReport::default()
+        }
+        fn score_batch(
+            &self,
+            users: &[usize],
+            _h: &[&[usize]],
+            candidates: &[&[usize]],
+        ) -> Vec<Vec<f32>> {
+            // Perfect knowledge of the test target.
+            users
+                .iter()
+                .zip(candidates)
+                .map(|(&u, cands)| {
+                    let target = self.split.test[u].unwrap();
+                    cands
+                        .iter()
+                        .map(|&c| if c == target { 1.0 } else { 0.0 })
+                        .collect()
+                })
+                .collect()
+        }
+    }
+
+    fn dataset() -> SequentialDataset {
+        let sequences: Vec<Vec<usize>> = (0..10)
+            .map(|u| (0..7).map(|t| (u + t) % 30).collect())
+            .collect();
+        SequentialDataset {
+            name: "t".into(),
+            domain: ist_graph::lexicon::Domain::Movies,
+            sequences,
+            num_items: 30,
+            item_concepts: vec![vec![]; 30],
+            concept_graph: ist_graph::ConceptGraph::empty(0),
+            concept_names: vec![],
+        }
+    }
+
+    #[test]
+    fn oracle_scores_perfectly() {
+        let ds = dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        let proto = EvalProtocol::build(&ds, &split, &ProtocolConfig::default());
+        let oracle = Oracle { split };
+        let m = proto.evaluate(&oracle);
+        assert_eq!(m.hr1, 1.0);
+        assert_eq!(m.mrr, 1.0);
+        assert_eq!(m.ndcg10, 1.0);
+    }
+
+    #[test]
+    fn candidates_have_positive_first_and_no_seen_items() {
+        let ds = dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        let proto = EvalProtocol::build(&ds, &split, &ProtocolConfig::default());
+        for (i, &u) in proto.users.iter().enumerate() {
+            assert_eq!(proto.candidates[i][0], split.test[u].unwrap());
+            let seen: HashSet<usize> = ds.sequences[u].iter().copied().collect();
+            for &c in &proto.candidates[i][1..] {
+                assert!(!seen.contains(&c), "negative {c} was interacted with");
+            }
+            // 101 candidates when the item pool allows it.
+            assert!(proto.candidates[i].len() <= 101);
+        }
+    }
+
+    #[test]
+    fn negatives_are_stable_across_builds() {
+        let ds = dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        let a = EvalProtocol::build(&ds, &split, &ProtocolConfig::default());
+        let b = EvalProtocol::build(&ds, &split, &ProtocolConfig::default());
+        assert_eq!(a.candidates, b.candidates);
+    }
+
+    #[test]
+    fn max_users_subsamples_deterministically() {
+        let ds = dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        let cfg = ProtocolConfig {
+            max_users: 4,
+            ..Default::default()
+        };
+        let proto = EvalProtocol::build(&ds, &split, &cfg);
+        assert_eq!(proto.len(), 4);
+    }
+
+    #[test]
+    fn validation_mode_targets_validation_item() {
+        let ds = dataset();
+        let split = LeaveOneOut::split(&ds.sequences);
+        let cfg = ProtocolConfig {
+            use_validation: true,
+            ..Default::default()
+        };
+        let proto = EvalProtocol::build(&ds, &split, &cfg);
+        for (i, &u) in proto.users.iter().enumerate() {
+            assert_eq!(proto.candidates[i][0], split.valid[u].unwrap());
+            assert_eq!(proto.histories[i], split.valid_history(u));
+        }
+    }
+}

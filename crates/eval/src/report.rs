@@ -1,0 +1,129 @@
+//! Table renderers matching the layout of the paper's Tables 2, 5 and 6.
+
+use crate::metrics::MetricSet;
+use crate::runner::CellResult;
+
+/// Renders a Table-2-style block for one dataset: metrics as rows, models
+/// as columns, best value starred and second-best underlined (text-mode
+/// equivalents of the paper's bold/underline), plus the relative
+/// improvement of the last column over the best other column.
+pub fn render_table2_block(dataset: &str, cells: &[CellResult]) -> String {
+    assert!(!cells.is_empty());
+    let mut out = format!("### {dataset}\n\n| Metric |");
+    for c in cells {
+        out.push_str(&format!(" {} |", c.model));
+    }
+    out.push_str(" Improv. |\n|---|");
+    for _ in cells {
+        out.push_str("---|");
+    }
+    out.push_str("---|\n");
+
+    let metric_rows: Vec<(&str, Vec<f64>)> = (0..6)
+        .map(|mi| {
+            let name = cells[0].metrics.named()[mi].0;
+            let vals = cells.iter().map(|c| c.metrics.named()[mi].1).collect();
+            (name, vals)
+        })
+        .collect();
+
+    for (name, vals) in metric_rows {
+        out.push_str(&format!("| {name} |"));
+        let best = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let second = vals
+            .iter()
+            .copied()
+            .filter(|&v| v < best)
+            .fold(f64::NEG_INFINITY, f64::max);
+        for &v in &vals {
+            if v == best {
+                out.push_str(&format!(" **{v:.4}** |"));
+            } else if v == second && second.is_finite() {
+                out.push_str(&format!(" _{v:.4}_ |"));
+            } else {
+                out.push_str(&format!(" {v:.4} |"));
+            }
+        }
+        // Relative improvement of the last column (ISRec) over the best of
+        // the others — the paper's "Improv." column.
+        let last = *vals.last().expect("non-empty");
+        let best_other = vals[..vals.len() - 1]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        if best_other > 0.0 {
+            out.push_str(&format!(" {:+.2}% |\n", (last / best_other - 1.0) * 100.0));
+        } else {
+            out.push_str(" n/a |\n");
+        }
+    }
+    out
+}
+
+/// Renders a Table-5-style ablation block (models as rows, the two
+/// headline metrics as columns).
+pub fn render_ablation_block(dataset: &str, cells: &[CellResult]) -> String {
+    let mut out = format!("### {dataset}\n\n| Variant | HR@10 | NDCG@10 |\n|---|---|---|\n");
+    for c in cells {
+        out.push_str(&format!(
+            "| {} | {:.4} | {:.4} |\n",
+            c.model, c.metrics.hr10, c.metrics.ndcg10
+        ));
+    }
+    out
+}
+
+/// Renders a sweep (Table 6 / Figs. 3–4 style): one row per swept value.
+pub fn render_sweep(title: &str, param_name: &str, rows: &[(String, MetricSet)]) -> String {
+    let mut out = format!(
+        "### {title}\n\n| {param_name} | HR@1 | HR@5 | HR@10 | NDCG@5 | NDCG@10 | MRR |\n|---|---|---|---|---|---|---|\n"
+    );
+    for (value, m) in rows {
+        out.push_str(&format!(
+            "| {value} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} | {:.4} |\n",
+            m.hr1, m.hr5, m.hr10, m.ndcg5, m.ndcg10, m.mrr
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(model: &str, hr10: f64) -> CellResult {
+        CellResult {
+            model: model.into(),
+            dataset: "d".into(),
+            metrics: MetricSet {
+                hr10,
+                hr1: hr10 / 3.0,
+                hr5: hr10 / 2.0,
+                ndcg5: hr10 / 2.5,
+                ndcg10: hr10 / 2.0,
+                mrr: hr10 / 2.2,
+            },
+            final_loss: 0.0,
+            seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn table2_marks_best_and_improvement() {
+        let cells = vec![cell("A", 0.2), cell("B", 0.3), cell("ISRec", 0.36)];
+        let s = render_table2_block("beauty-like", &cells);
+        assert!(s.contains("**0.3600**"), "{s}");
+        assert!(s.contains("_0.3000_"), "{s}");
+        assert!(s.contains("+20.00%"), "{s}");
+        assert!(s.contains("| Metric | A | B | ISRec | Improv. |"));
+    }
+
+    #[test]
+    fn ablation_and_sweep_render() {
+        let cells = vec![cell("ISRec", 0.3), cell("w/o GNN", 0.25)];
+        let s = render_ablation_block("ml1m-like", &cells);
+        assert!(s.lines().count() >= 5);
+        let sweep = render_sweep("Fig. 3", "d'", &[("8".into(), MetricSet::default())]);
+        assert!(sweep.contains("| 8 |"));
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests of the ranking metrics (Eq. 15–17): bounds,
+//! monotonicity, permutation behaviour, and agreement with a brute-force
+//! reference implementation.
+
+use ist_eval::metrics::{MetricSet, Ranking};
+use proptest::prelude::*;
+
+fn scores_strategy() -> impl Strategy<Value = (Vec<f32>, usize)> {
+    prop::collection::vec(-10.0f32..10.0, 2..40).prop_flat_map(|v| {
+        let len = v.len();
+        (Just(v), 0..len)
+    })
+}
+
+/// Brute-force mid-tie rank.
+fn reference_rank(scores: &[f32], pos: usize) -> f64 {
+    let p = scores[pos];
+    let better = scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| i != pos && s > p)
+        .count();
+    let equal = scores
+        .iter()
+        .enumerate()
+        .filter(|&(i, &s)| i != pos && s == p)
+        .count();
+    1.0 + better as f64 + equal as f64 / 2.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn rank_matches_reference((scores, pos) in scores_strategy()) {
+        let r = Ranking::from_scores(&scores, pos);
+        prop_assert_eq!(r.rank, reference_rank(&scores, pos));
+        prop_assert!(r.rank >= 1.0);
+        prop_assert!(r.rank <= scores.len() as f64);
+    }
+
+    #[test]
+    fn metrics_are_bounded_and_monotone((scores, pos) in scores_strategy()) {
+        let r = Ranking::from_scores(&scores, pos);
+        let mut prev_hit = 0.0;
+        let mut prev_ndcg = 0.0;
+        for k in 1..=20 {
+            let (h, n) = (r.hit(k), r.ndcg(k));
+            prop_assert!((0.0..=1.0).contains(&h));
+            prop_assert!((0.0..=1.0).contains(&n) , "ndcg {n}");
+            prop_assert!(h >= prev_hit, "HR not monotone in k");
+            prop_assert!(n >= prev_ndcg - 1e-12, "NDCG not monotone in k");
+            prev_hit = h;
+            prev_ndcg = n;
+        }
+        let rr = r.reciprocal_rank();
+        prop_assert!(rr > 0.0 && rr <= 1.0);
+    }
+
+    #[test]
+    fn boosting_the_positive_never_hurts((scores, pos) in scores_strategy()) {
+        let r_before = Ranking::from_scores(&scores, pos);
+        let mut boosted = scores.clone();
+        boosted[pos] += 5.0;
+        let r_after = Ranking::from_scores(&boosted, pos);
+        prop_assert!(r_after.rank <= r_before.rank);
+        prop_assert!(r_after.reciprocal_rank() >= r_before.reciprocal_rank());
+        for k in [1usize, 5, 10] {
+            prop_assert!(r_after.hit(k) >= r_before.hit(k));
+            prop_assert!(r_after.ndcg(k) >= r_before.ndcg(k) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn rank_is_invariant_to_negative_permutation((scores, pos) in scores_strategy()) {
+        // Shuffling the other candidates must not change the rank.
+        let mut others: Vec<f32> =
+            scores.iter().enumerate().filter(|&(i, _)| i != pos).map(|(_, &s)| s).collect();
+        others.reverse();
+        let mut rebuilt = others;
+        rebuilt.insert(0, scores[pos]);
+        let r1 = Ranking::from_scores(&scores, pos);
+        let r2 = Ranking::from_scores(&rebuilt, 0);
+        prop_assert_eq!(r1.rank, r2.rank);
+    }
+
+    #[test]
+    fn metric_set_average_lies_in_hull(ranks in prop::collection::vec(1.0f64..50.0, 1..20)) {
+        let rankings: Vec<Ranking> = ranks.iter().map(|&rank| Ranking { rank }).collect();
+        let m = MetricSet::from_rankings(&rankings);
+        for (_, v) in m.named() {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // MRR is the mean of reciprocal ranks.
+        let expect: f64 = ranks.iter().map(|r| 1.0 / r).sum::<f64>() / ranks.len() as f64;
+        prop_assert!((m.mrr - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,174 @@
+//! Synthetic concept-graph generators.
+//!
+//! The paper builds its intention graph from ConceptNet subgraphs whose
+//! statistics (Table 4) are small, sparse and small-world-ish: 96–592
+//! concepts, average degree ≈ 4–10, visible topical clustering. Two
+//! generators reproduce those properties:
+//!
+//! * [`watts_strogatz`] — the classic ring-rewiring small-world model;
+//! * [`community_graph`] — dense topical communities with sparse
+//!   inter-community bridges, mirroring ConceptNet's clustered topology.
+//!
+//! [`concept_graph`] combines a community backbone with random rewiring and
+//! is what the dataset worlds use.
+
+use ist_tensor::rng::SeedRng;
+use rand::Rng;
+
+use crate::ConceptGraph;
+
+/// Watts–Strogatz small-world graph: `n` nodes on a ring, each joined to
+/// its `k` nearest neighbours (`k` even), with each edge rewired with
+/// probability `beta`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, rng: &mut SeedRng) -> ConceptGraph {
+    assert!(k.is_multiple_of(2) && k < n, "k must be even and < n");
+    let mut g = ConceptGraph::empty(n);
+    for v in 0..n {
+        for j in 1..=k / 2 {
+            let w = (v + j) % n;
+            if rng.gen::<f64>() < beta {
+                // Rewire to a uniform non-self target (duplicates collapse).
+                let mut target = rng.gen_range(0..n);
+                while target == v {
+                    target = rng.gen_range(0..n);
+                }
+                g.add_edge(v, target);
+            } else {
+                g.add_edge(v, w);
+            }
+        }
+    }
+    g
+}
+
+/// Planted-partition community graph: `n` nodes in `communities` balanced
+/// groups; intra-community edges appear with probability `p_in`,
+/// inter-community with `p_out`.
+pub fn community_graph(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut SeedRng,
+) -> ConceptGraph {
+    assert!(communities >= 1 && communities <= n);
+    let mut g = ConceptGraph::empty(n);
+    let community_of = |v: usize| v * communities / n;
+    for a in 0..n {
+        for b in a + 1..n {
+            let p = if community_of(a) == community_of(b) {
+                p_in
+            } else {
+                p_out
+            };
+            if rng.gen::<f64>() < p {
+                g.add_edge(a, b);
+            }
+        }
+    }
+    g
+}
+
+/// Community id of node `v` under the balanced layout of
+/// [`community_graph`] / [`concept_graph`].
+pub fn community_of(v: usize, n: usize, communities: usize) -> usize {
+    v * communities / n
+}
+
+/// The ConceptNet-substitute generator used by the synthetic worlds.
+///
+/// Builds a community backbone whose `p_in` is solved from the requested
+/// average degree, then adds a sprinkling of long-range edges (10% of the
+/// target) to keep the graph near-connected like ConceptNet's core.
+pub fn concept_graph(
+    n: usize,
+    communities: usize,
+    avg_degree: f64,
+    rng: &mut SeedRng,
+) -> ConceptGraph {
+    assert!(n >= 4 && communities >= 1);
+    let target_edges = (avg_degree * n as f64 / 2.0).round() as usize;
+    let intra_target = (target_edges as f64 * 0.9) as usize;
+    let comm_size = (n as f64 / communities as f64).max(2.0);
+    let intra_pairs = communities as f64 * comm_size * (comm_size - 1.0) / 2.0;
+    let p_in = (intra_target as f64 / intra_pairs).min(1.0);
+
+    let mut g = community_graph(n, communities, p_in, 0.0, rng);
+    // Long-range bridges.
+    let bridges = target_edges.saturating_sub(g.num_edges());
+    let mut attempts = 0;
+    let mut added = 0;
+    while added < bridges && attempts < bridges * 20 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b);
+            added += 1;
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::rng::SeedRngExt as _;
+
+    #[test]
+    fn watts_strogatz_zero_beta_is_ring_lattice() {
+        let mut rng = SeedRng::seed(1);
+        let g = watts_strogatz(10, 4, 0.0, &mut rng);
+        assert_eq!(g.num_edges(), 20);
+        for v in 0..10 {
+            assert_eq!(g.degree(v), 4);
+            assert!(g.has_edge(v, (v + 1) % 10));
+            assert!(g.has_edge(v, (v + 2) % 10));
+        }
+        // Ring lattice with k=4 has high clustering.
+        assert!(g.avg_clustering() > 0.4);
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_lowers_clustering() {
+        let mut rng = SeedRng::seed(2);
+        let lattice = watts_strogatz(60, 6, 0.0, &mut rng);
+        let random = watts_strogatz(60, 6, 1.0, &mut rng);
+        assert!(random.avg_clustering() < lattice.avg_clustering());
+    }
+
+    #[test]
+    fn community_graph_is_denser_inside() {
+        let mut rng = SeedRng::seed(3);
+        let g = community_graph(60, 3, 0.5, 0.01, &mut rng);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (a, b) in g.edges() {
+            if community_of(a, 60, 3) == community_of(b, 60, 3) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > inter * 3, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn concept_graph_hits_degree_target() {
+        let mut rng = SeedRng::seed(4);
+        // Beauty-like: 592 concepts, avg degree ≈ 9.4 (Table 4).
+        let g = concept_graph(120, 8, 9.4, &mut rng);
+        let avg = g.avg_degree();
+        assert!((avg - 9.4).abs() < 2.0, "avg degree {avg}");
+        // Mostly connected: the giant component covers most nodes.
+        let comp = g.components();
+        let giant = comp.iter().filter(|&&c| c == comp[0]).count();
+        assert!(giant > 100, "giant component only {giant} nodes");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let g1 = concept_graph(50, 5, 6.0, &mut SeedRng::seed(9));
+        let g2 = concept_graph(50, 5, 6.0, &mut SeedRng::seed(9));
+        assert_eq!(g1.edges(), g2.edges());
+    }
+}

@@ -1,0 +1,249 @@
+//! Undirected concept graph with CSR-like adjacency lists.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected simple graph over `n` concept nodes.
+///
+/// Invariants: adjacency lists are sorted, deduplicated, loop-free, and
+/// symmetric (`j ∈ adj[i] ⇔ i ∈ adj[j]`).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ConceptGraph {
+    n: usize,
+    adj: Vec<Vec<usize>>,
+}
+
+impl ConceptGraph {
+    /// Empty graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        ConceptGraph {
+            n,
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Builds from an edge list; duplicates, loops and reversed duplicates
+    /// are silently collapsed. Panics on out-of-range endpoints.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut g = Self::empty(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Inserts edge `{a, b}` (no-op for loops and duplicates).
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        assert!(
+            a < self.n && b < self.n,
+            "edge ({a},{b}) out of range for n={}",
+            self.n
+        );
+        if a == b {
+            return;
+        }
+        if let Err(pos) = self.adj[a].binary_search(&b) {
+            self.adj[a].insert(pos, b);
+        }
+        if let Err(pos) = self.adj[b].binary_search(&a) {
+            self.adj[b].insert(pos, a);
+        }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.adj[v]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj[v].len()
+    }
+
+    /// True when `{a, b}` is an edge.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        self.adj[a].binary_search(&b).is_ok()
+    }
+
+    /// All edges as `(min, max)` pairs, lexicographically sorted.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for (a, list) in self.adj.iter().enumerate() {
+            for &b in list {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Mean degree.
+    pub fn avg_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.n as f64
+    }
+
+    /// Induced subgraph on `keep` (new node `i` = old node `keep[i]`).
+    /// `keep` must be strictly increasing.
+    pub fn induced(&self, keep: &[usize]) -> ConceptGraph {
+        assert!(
+            keep.windows(2).all(|w| w[0] < w[1]),
+            "keep must be strictly increasing"
+        );
+        let remap: std::collections::HashMap<usize, usize> = keep
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
+        let mut g = ConceptGraph::empty(keep.len());
+        for (new_a, &old_a) in keep.iter().enumerate() {
+            for &old_b in self.neighbors(old_a) {
+                if old_b > old_a {
+                    if let Some(&new_b) = remap.get(&old_b) {
+                        g.add_edge(new_a, new_b);
+                    }
+                }
+            }
+        }
+        g
+    }
+
+    /// Connected components as a label per node (labels are component
+    /// minima, so they are stable and comparable).
+    pub fn components(&self) -> Vec<usize> {
+        let mut label = vec![usize::MAX; self.n];
+        for start in 0..self.n {
+            if label[start] != usize::MAX {
+                continue;
+            }
+            // BFS from `start`; `start` is the smallest unvisited id, so it
+            // is the minimum of its component.
+            let mut queue = std::collections::VecDeque::from([start]);
+            label[start] = start;
+            while let Some(v) = queue.pop_front() {
+                for &w in &self.adj[v] {
+                    if label[w] == usize::MAX {
+                        label[w] = start;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        label
+    }
+
+    /// Breadth-first distances from `src` (`usize::MAX` = unreachable).
+    pub fn bfs_distances(&self, src: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.n];
+        dist[src] = 0;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(v) = queue.pop_front() {
+            for &w in &self.adj[v] {
+                if dist[w] == usize::MAX {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Local clustering coefficient of `v` (0 for degree < 2).
+    pub fn clustering_coefficient(&self, v: usize) -> f64 {
+        let nb = &self.adj[v];
+        let k = nb.len();
+        if k < 2 {
+            return 0.0;
+        }
+        let mut links = 0usize;
+        for (i, &a) in nb.iter().enumerate() {
+            for &b in &nb[i + 1..] {
+                if self.has_edge(a, b) {
+                    links += 1;
+                }
+            }
+        }
+        2.0 * links as f64 / (k * (k - 1)) as f64
+    }
+
+    /// Mean local clustering coefficient over all nodes.
+    pub fn avg_clustering(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        (0..self.n)
+            .map(|v| self.clustering_coefficient(v))
+            .sum::<f64>()
+            / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> ConceptGraph {
+        ConceptGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn construction_and_symmetry() {
+        let g = path4();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn loops_and_duplicates_collapse() {
+        let g = ConceptGraph::from_edges(3, &[(0, 1), (1, 0), (0, 0), (0, 1)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn edges_listing_sorted() {
+        let g = ConceptGraph::from_edges(4, &[(3, 1), (0, 2), (1, 0)]);
+        assert_eq!(g.edges(), vec![(0, 1), (0, 2), (1, 3)]);
+        assert!((g.avg_degree() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn components_and_bfs() {
+        let g = ConceptGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let comp = g.components();
+        assert_eq!(comp, vec![0, 0, 0, 3, 3]);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], 2);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn clustering_triangle_vs_path() {
+        let triangle = ConceptGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(triangle.clustering_coefficient(0), 1.0);
+        assert_eq!(path4().clustering_coefficient(1), 0.0);
+        assert!(triangle.avg_clustering() > path4().avg_clustering());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        ConceptGraph::from_edges(2, &[(0, 5)]);
+    }
+}

@@ -1,0 +1,298 @@
+//! A miniature common-sense lexicon: human-readable concept names per
+//! domain, standing in for ConceptNet's vocabulary in explanations and
+//! showcases (Fig. 2 of the paper prints names like *wrinkle*, *scalp*,
+//! *military*, *crime*).
+
+/// The four application domains of the paper's datasets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Amazon "Beauty"-like products.
+    Beauty,
+    /// Steam-like video games.
+    Games,
+    /// Epinions-like general consumer reviews.
+    Consumer,
+    /// MovieLens-like movies.
+    Movies,
+}
+
+impl Domain {
+    /// Seed vocabulary of the domain.
+    pub fn base_words(self) -> &'static [&'static str] {
+        match self {
+            Domain::Beauty => &[
+                "moisturizer",
+                "wrinkle",
+                "scalp",
+                "skin",
+                "face",
+                "brightening",
+                "serum",
+                "cleanser",
+                "shampoo",
+                "conditioner",
+                "fragrance",
+                "lipstick",
+                "mascara",
+                "foundation",
+                "sunscreen",
+                "exfoliant",
+                "toner",
+                "lotion",
+                "oil",
+                "mousse",
+                "fiber",
+                "defense",
+                "hydration",
+                "collagen",
+                "vitamin",
+                "lash",
+                "brow",
+                "nail",
+                "polish",
+                "balm",
+                "mask",
+                "acne",
+                "pore",
+                "glow",
+                "matte",
+                "blush",
+                "primer",
+                "concealer",
+                "hairspray",
+                "curl",
+            ],
+            Domain::Games => &[
+                "war",
+                "crime",
+                "fight",
+                "military",
+                "tank",
+                "destruction",
+                "violent",
+                "strategy",
+                "puzzle",
+                "racing",
+                "shooter",
+                "stealth",
+                "survival",
+                "horror",
+                "fantasy",
+                "dragon",
+                "magic",
+                "quest",
+                "dungeon",
+                "loot",
+                "craft",
+                "build",
+                "simulation",
+                "farming",
+                "space",
+                "alien",
+                "zombie",
+                "sword",
+                "sniper",
+                "squad",
+                "arena",
+                "tactics",
+                "empire",
+                "battle",
+                "pixel",
+                "roguelike",
+                "platformer",
+                "sandbox",
+                "multiplayer",
+                "campaign",
+            ],
+            Domain::Consumer => &[
+                "camera",
+                "laptop",
+                "battery",
+                "warranty",
+                "shipping",
+                "kitchen",
+                "blender",
+                "vacuum",
+                "stroller",
+                "toy",
+                "book",
+                "novel",
+                "garden",
+                "tool",
+                "drill",
+                "tire",
+                "engine",
+                "luggage",
+                "backpack",
+                "tent",
+                "hiking",
+                "fitness",
+                "treadmill",
+                "headphone",
+                "speaker",
+                "printer",
+                "monitor",
+                "keyboard",
+                "router",
+                "phone",
+                "tablet",
+                "watch",
+                "jacket",
+                "shoes",
+                "comfortable",
+                "durable",
+                "bargain",
+                "quality",
+                "service",
+                "return",
+            ],
+            Domain::Movies => &[
+                "action",
+                "comedy",
+                "drama",
+                "thriller",
+                "romance",
+                "horror",
+                "sci-fi",
+                "western",
+                "noir",
+                "animation",
+                "documentary",
+                "musical",
+                "war",
+                "crime",
+                "mystery",
+                "adventure",
+                "family",
+                "fantasy",
+                "biopic",
+                "heist",
+                "courtroom",
+                "detective",
+                "space",
+                "dystopia",
+                "superhero",
+                "vampire",
+                "road-trip",
+                "coming-of-age",
+                "satire",
+                "slapstick",
+                "suspense",
+                "epic",
+                "indie",
+                "classic",
+                "remake",
+                "sequel",
+                "ensemble",
+                "director",
+                "oscar",
+                "cult",
+            ],
+        }
+    }
+
+    /// `k` concept names: the base vocabulary, extended with derived
+    /// compounds (`word-2`, `word-3`, …) when `k` exceeds it.
+    pub fn concept_names(self, k: usize) -> Vec<String> {
+        let base = self.base_words();
+        let mut names = Vec::with_capacity(k);
+        let mut round = 1usize;
+        while names.len() < k {
+            for w in base {
+                if names.len() == k {
+                    break;
+                }
+                if round == 1 {
+                    names.push((*w).to_string());
+                } else {
+                    names.push(format!("{w}-{round}"));
+                }
+            }
+            round += 1;
+        }
+        names
+    }
+
+    /// Distractor (non-concept) words used by the synthetic review texts —
+    /// the "noise" the keyword extractor must ignore.
+    pub fn noise_words() -> &'static [&'static str] {
+        &[
+            "really",
+            "very",
+            "bought",
+            "arrived",
+            "yesterday",
+            "definitely",
+            "maybe",
+            "thing",
+            "stuff",
+            "okay",
+            "basically",
+            "actually",
+            "honestly",
+            "pretty",
+            "highly",
+            "totally",
+            "probably",
+            "awesome",
+            "terrible",
+            "great",
+            "bad",
+            "love",
+            "hate",
+            "recommend",
+            "price",
+            "cheap",
+            "expensive",
+            "fast",
+            "slow",
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_vocabularies_are_distinct_and_nonempty() {
+        for d in [
+            Domain::Beauty,
+            Domain::Games,
+            Domain::Consumer,
+            Domain::Movies,
+        ] {
+            assert!(d.base_words().len() >= 40);
+            // no duplicates
+            let mut set = std::collections::HashSet::new();
+            for w in d.base_words() {
+                assert!(set.insert(*w), "duplicate word {w} in {d:?}");
+            }
+        }
+        assert!(Domain::Beauty.base_words().contains(&"wrinkle")); // Fig. 2 name
+        assert!(Domain::Games.base_words().contains(&"military")); // Fig. 2 name
+    }
+
+    #[test]
+    fn concept_names_extend_past_base() {
+        let names = Domain::Beauty.concept_names(100);
+        assert_eq!(names.len(), 100);
+        assert_eq!(names[0], "moisturizer");
+        assert!(
+            names[99].contains('-'),
+            "derived name expected, got {}",
+            names[99]
+        );
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 100);
+    }
+
+    #[test]
+    fn noise_disjoint_from_concepts() {
+        let concepts: std::collections::HashSet<_> =
+            Domain::Beauty.base_words().iter().copied().collect();
+        for w in Domain::noise_words() {
+            assert!(!concepts.contains(w), "noise word {w} collides");
+        }
+    }
+}

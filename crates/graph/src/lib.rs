@@ -1,0 +1,17 @@
+//! # ist-graph
+//!
+//! Concept graphs for the ISRec reproduction: compact undirected graph
+//! storage ([`ConceptGraph`]), the symmetric-normalised adjacency used by
+//! the GCN transition (Eq. 10), synthetic generators that match the
+//! small-world statistics of the paper's ConceptNet subgraphs (Table 4),
+//! and a miniature domain lexicon for human-readable concept names.
+
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod graph;
+pub mod lexicon;
+pub mod norm;
+
+pub use graph::ConceptGraph;
+pub use norm::normalized_adjacency;

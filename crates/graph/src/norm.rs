@@ -1,0 +1,81 @@
+//! Symmetric adjacency normalisation for GCNs (Eq. 10):
+//! `N = D̂^{-1/2} (A + I) D̂^{-1/2}`.
+
+use ist_tensor::Tensor;
+
+use crate::ConceptGraph;
+
+/// Dense normalised adjacency with self-loops.
+///
+/// Every node gains a self-loop (`Â = A + I`), so isolated concepts still
+/// carry their own features through the transition. The result is symmetric
+/// with spectral radius ≤ 1.
+#[allow(clippy::needless_range_loop)] // indexed graph walk reads clearer
+pub fn normalized_adjacency(g: &ConceptGraph) -> Tensor {
+    let n = g.num_nodes();
+    let mut deg = vec![1.0f32; n]; // self-loop contributes 1 to every degree
+    for v in 0..n {
+        deg[v] += g.degree(v) as f32;
+    }
+    let inv_sqrt: Vec<f32> = deg.iter().map(|d| 1.0 / d.sqrt()).collect();
+
+    let mut m = vec![0.0f32; n * n];
+    for v in 0..n {
+        m[v * n + v] = inv_sqrt[v] * inv_sqrt[v];
+        for &w in g.neighbors(v) {
+            m[v * n + w] = inv_sqrt[v] * inv_sqrt[w];
+        }
+    }
+    Tensor::from_vec(m, &[n, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric_and_bounded() {
+        let g = ConceptGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let n = normalized_adjacency(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((n.at2(i, j) - n.at2(j, i)).abs() < 1e-7, "not symmetric");
+                assert!(n.at2(i, j) >= 0.0 && n.at2(i, j) <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn hand_computed_path_graph() {
+        // Path 0-1-2: D̂ = diag(2,3,2).
+        let g = ConceptGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let n = normalized_adjacency(&g);
+        assert!((n.at2(0, 0) - 0.5).abs() < 1e-6);
+        assert!((n.at2(0, 1) - 1.0 / 6f32.sqrt()).abs() < 1e-6);
+        assert_eq!(n.at2(0, 2), 0.0);
+        assert!((n.at2(1, 1) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_loop() {
+        let g = ConceptGraph::empty(2);
+        let n = normalized_adjacency(&g);
+        assert_eq!(n.at2(0, 0), 1.0);
+        assert_eq!(n.at2(0, 1), 0.0);
+    }
+
+    #[test]
+    fn rows_of_constant_vector_are_preserved_in_spectral_sense() {
+        // N's spectral radius ≤ 1: repeated application must not blow up.
+        let g = ConceptGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let n = normalized_adjacency(&g);
+        let mut x = Tensor::ones(&[5, 1]);
+        for _ in 0..50 {
+            x = ist_tensor::matmul::matmul(&n, &x);
+        }
+        assert!(x
+            .data()
+            .iter()
+            .all(|v| v.is_finite() && v.abs() <= 1.0 + 1e-4));
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of the graph generators and normalisation.
+
+use ist_graph::generators::{community_graph, concept_graph, watts_strogatz};
+use ist_graph::{normalized_adjacency, ConceptGraph};
+use ist_tensor::rng::{SeedRng, SeedRngExt as _};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn watts_strogatz_degree_is_conserved_in_expectation(
+        n in 10usize..40, half_k in 1usize..3, seed in 0u64..1000
+    ) {
+        let k = half_k * 2;
+        prop_assume!(k < n);
+        let mut rng = SeedRng::seed(seed);
+        let g = watts_strogatz(n, k, 0.3, &mut rng);
+        // Rewiring can only merge duplicate edges, never create extras.
+        prop_assert!(g.num_edges() <= n * k / 2);
+        prop_assert!(g.num_edges() >= n * k / 4, "lost too many edges");
+        // Simple graph invariants.
+        for v in 0..n {
+            prop_assert!(!g.has_edge(v, v));
+            for &w in g.neighbors(v) {
+                prop_assert!(g.has_edge(w, v), "asymmetric adjacency");
+            }
+        }
+    }
+
+    #[test]
+    fn concept_graph_degree_tracks_target(n in 20usize..80, seed in 0u64..1000) {
+        let mut rng = SeedRng::seed(seed);
+        let target = 3.0 + (seed % 5) as f64;
+        let g = concept_graph(n, 4, target, &mut rng);
+        prop_assert!((g.avg_degree() - target).abs() < 2.5,
+            "target {target}, got {}", g.avg_degree());
+    }
+
+    #[test]
+    fn community_structure_is_detectable(seed in 0u64..1000) {
+        let mut rng = SeedRng::seed(seed);
+        let g = community_graph(40, 4, 0.6, 0.02, &mut rng);
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for (a, b) in g.edges() {
+            if a * 4 / 40 == b * 4 / 40 { intra += 1 } else { inter += 1 }
+        }
+        prop_assert!(intra > inter, "intra {intra} vs inter {inter}");
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric_and_spectrally_bounded(
+        n in 2usize..30, seed in 0u64..1000
+    ) {
+        let mut rng = SeedRng::seed(seed);
+        let g = concept_graph(n.max(4), 2, 3.0, &mut rng);
+        let adj = normalized_adjacency(&g);
+        let k = g.num_nodes();
+        for i in 0..k {
+            for j in 0..k {
+                prop_assert!((adj.at2(i, j) - adj.at2(j, i)).abs() < 1e-6);
+                prop_assert!(adj.at2(i, j) >= 0.0 && adj.at2(i, j) <= 1.0);
+            }
+        }
+        // Spectral radius ≤ 1 (NB: *row sums* may exceed 1 for hubs with
+        // low-degree neighbours): power iteration must not blow up.
+        let mut x = ist_tensor::Tensor::ones(&[k, 1]);
+        let initial_norm = x.norm2();
+        for _ in 0..30 {
+            x = ist_tensor::matmul::matmul(&adj, &x);
+        }
+        prop_assert!(x.norm2() <= initial_norm * 1.001, "power iteration grew");
+        prop_assert!(!x.has_non_finite());
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges(seed in 0u64..1000) {
+        let mut rng = SeedRng::seed(seed);
+        let g = concept_graph(30, 3, 4.0, &mut rng);
+        let keep: Vec<usize> = (0..30).filter(|v| v % 2 == 0).collect();
+        let sub = g.induced(&keep);
+        prop_assert_eq!(sub.num_nodes(), keep.len());
+        for (new_a, &old_a) in keep.iter().enumerate() {
+            for (new_b, &old_b) in keep.iter().enumerate() {
+                prop_assert_eq!(
+                    sub.has_edge(new_a, new_b),
+                    g.has_edge(old_a, old_b),
+                    "edge mismatch {}-{}",
+                    old_a,
+                    old_b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_inequality_on_edges(seed in 0u64..500) {
+        let mut rng = SeedRng::seed(seed);
+        let g = concept_graph(25, 3, 4.0, &mut rng);
+        let d = g.bfs_distances(0);
+        for (a, b) in g.edges() {
+            if d[a] != usize::MAX && d[b] != usize::MAX {
+                prop_assert!(d[a].abs_diff(d[b]) <= 1, "edge ({a},{b}) jumps levels");
+            }
+        }
+    }
+}
+
+#[test]
+fn empty_and_singleton_graphs_are_handled() {
+    let empty = ConceptGraph::empty(0);
+    assert_eq!(empty.num_edges(), 0);
+    assert_eq!(empty.avg_degree(), 0.0);
+    let single = ConceptGraph::empty(1);
+    let adj = normalized_adjacency(&single);
+    assert_eq!(adj.at2(0, 0), 1.0);
+}

@@ -1,0 +1,211 @@
+//! Caser-style sequence convolutions, expressed as unfold + GEMM.
+
+use ist_autograd::{fused, ops, Param, Var};
+use ist_tensor::rng::SeedRng;
+
+use crate::init;
+use crate::module::Module;
+use crate::Ctx;
+
+/// Horizontal convolution bank: for each window height `h`, `n_filters`
+/// filters of shape `[h, d]` slide down the item-embedding matrix; each
+/// filter's responses are max-pooled over time.
+///
+/// Output per sequence: `heights.len() · n_filters` features.
+pub struct HorizontalConv {
+    /// One `[h·d, n_filters]` weight per window height.
+    filters: Vec<Param>,
+    heights: Vec<usize>,
+    n_filters: usize,
+    d: usize,
+}
+
+impl HorizontalConv {
+    /// Filter bank over the given window heights.
+    pub fn new(
+        name: &str,
+        d: usize,
+        heights: &[usize],
+        n_filters: usize,
+        rng: &mut SeedRng,
+    ) -> Self {
+        assert!(!heights.is_empty());
+        let filters = heights
+            .iter()
+            .map(|&h| {
+                Param::new(
+                    format!("{name}.h{h}"),
+                    init::xavier_uniform(&[h * d, n_filters], rng),
+                )
+            })
+            .collect();
+        HorizontalConv {
+            filters,
+            heights: heights.to_vec(),
+            n_filters,
+            d,
+        }
+    }
+
+    /// `x: [B·L, d]` batch-major → pooled features `[B, heights·n_filters]`.
+    pub fn forward(&self, ctx: &Ctx, x: &Var, batch: usize, len: usize) -> Var {
+        debug_assert_eq!(x.shape(), vec![batch * len, self.d]);
+        let mut parts: Vec<Var> = Vec::with_capacity(self.heights.len());
+        for (h, w) in self.heights.iter().zip(&self.filters) {
+            assert!(*h <= len, "window {h} larger than sequence {len}");
+            let windows = len - h + 1;
+            let unfolded = fused::unfold_rows_batched(x, batch, len, *h);
+            let conv = ops::relu(&ops::matmul(&unfolded, &w.leaf(&ctx.tape)));
+            parts.push(fused::segment_max_rows(&conv, windows)); // [B, nF]
+        }
+        // Concatenate along features by stacking rows then reshaping:
+        // [heights·B, nF] (height-major) → gather to [B, heights·nF].
+        if parts.len() == 1 {
+            return parts.pop().expect("one part");
+        }
+        let stacked = ops::concat_rows(&parts);
+        let nh = self.heights.len();
+        // Row r of output block layout: want out[b] = [part0[b] | part1[b] | …];
+        // realise via index_select into [B·nh, nF] then reshape.
+        let perm: Vec<usize> = (0..batch * nh)
+            .map(|r| {
+                let (b, p) = (r / nh, r % nh);
+                p * batch + b
+            })
+            .collect();
+        let interleaved = ops::index_select_rows(&stacked, &perm);
+        ops::reshape(&interleaved, &[batch, nh * self.n_filters])
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.heights.len() * self.n_filters
+    }
+}
+
+impl Module for HorizontalConv {
+    fn params(&self) -> Vec<Param> {
+        self.filters.clone()
+    }
+}
+
+/// Vertical convolution: `n_filters` column filters of shape `[L, 1]`; each
+/// produces a weighted sum of the `L` item embeddings → `[B, n_filters·d]`.
+pub struct VerticalConv {
+    /// `[n_filters, L]` filter matrix.
+    pub weight: Param,
+    len: usize,
+    n_filters: usize,
+    d: usize,
+}
+
+impl VerticalConv {
+    /// Vertical filters over a fixed window length `len`.
+    pub fn new(name: &str, d: usize, len: usize, n_filters: usize, rng: &mut SeedRng) -> Self {
+        VerticalConv {
+            weight: Param::new(
+                format!("{name}.weight"),
+                init::xavier_uniform(&[n_filters, len], rng),
+            ),
+            len,
+            n_filters,
+            d,
+        }
+    }
+
+    /// `x: [B·L, d]` batch-major → `[B, n_filters·d]`.
+    pub fn forward(&self, ctx: &Ctx, x: &Var, batch: usize) -> Var {
+        debug_assert_eq!(x.shape(), vec![batch * self.len, self.d]);
+        // [B, L, d] bmm [B(broadcast), nF, L] — realise by looping heads via
+        // one GEMM: W [nF, L] applied per batch with transpose_01 trick.
+        let x3 = ops::reshape(x, &[batch, self.len, self.d]);
+        let xk = ops::reshape(&ops::transpose_01(&x3), &[self.len, batch * self.d]);
+        let w = self.weight.leaf(&ctx.tape);
+        let out = ops::matmul(&w, &xk); // [nF, B·d]
+        let out = ops::transpose_01(&ops::reshape(&out, &[self.n_filters, batch, self.d]));
+        ops::reshape(&out, &[batch, self.n_filters * self.d])
+    }
+
+    /// Output feature width.
+    pub fn out_dim(&self) -> usize {
+        self.n_filters * self.d
+    }
+}
+
+impl Module for VerticalConv {
+    fn params(&self) -> Vec<Param> {
+        vec![self.weight.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::rng::{uniform, SeedRngExt as _};
+    use ist_tensor::Tensor;
+
+    #[test]
+    fn horizontal_shapes() {
+        let mut rng = SeedRng::seed(1);
+        let conv = HorizontalConv::new("h", 4, &[2, 3], 5, &mut rng);
+        assert_eq!(conv.out_dim(), 10);
+        let ctx = Ctx::eval();
+        let mut rng2 = SeedRng::seed(2);
+        let x = ctx.tape.leaf(uniform(&[2 * 6, 4], -1.0, 1.0, &mut rng2));
+        let y = conv.forward(&ctx, &x, 2, 6);
+        assert_eq!(y.shape(), vec![2, 10]);
+    }
+
+    #[test]
+    fn horizontal_single_height_matches_manual() {
+        let mut rng = SeedRng::seed(3);
+        let conv = HorizontalConv::new("h", 2, &[1], 3, &mut rng);
+        let ctx = Ctx::eval();
+        let x = ctx
+            .tape
+            .leaf(Tensor::from_vec(vec![1., 0., 0., 1.], &[2, 2]));
+        // batch 1, len 2, h=1 → relu(x·W) max over the two rows.
+        let y = conv.forward(&ctx, &x, 1, 2).value();
+        let w = conv.filters[0].value();
+        for f in 0..3 {
+            let r0 = (1.0 * w.at2(0, f)).max(0.0);
+            let r1 = (1.0 * w.at2(1, f)).max(0.0);
+            assert!((y.at2(0, f) - r0.max(r1)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vertical_is_weighted_sum_of_rows() {
+        let mut rng = SeedRng::seed(4);
+        let conv = VerticalConv::new("v", 3, 2, 1, &mut rng);
+        conv.weight
+            .set_value(Tensor::from_vec(vec![0.25, 0.75], &[1, 2]));
+        let ctx = Ctx::eval();
+        let x = ctx.tape.leaf(Tensor::from_vec(
+            vec![1., 2., 3., 5., 6., 7., 0., 0., 0., 4., 4., 4.],
+            &[4, 3],
+        ));
+        let y = conv.forward(&ctx, &x, 2).value();
+        assert_eq!(y.shape(), &[2, 3]);
+        // batch0: 0.25·[1,2,3] + 0.75·[5,6,7]
+        ist_tensor::assert_close(&y.data()[0..3], &[4.0, 5.0, 6.0], 1e-5);
+        // batch1: 0.25·0 + 0.75·[4,4,4]
+        ist_tensor::assert_close(&y.data()[3..6], &[3.0, 3.0, 3.0], 1e-5);
+    }
+
+    #[test]
+    fn gradients_reach_filters() {
+        let mut rng = SeedRng::seed(5);
+        let h = HorizontalConv::new("h", 3, &[2], 4, &mut rng);
+        let v = VerticalConv::new("v", 3, 4, 2, &mut rng);
+        let ctx = Ctx::eval();
+        let mut rng2 = SeedRng::seed(6);
+        let x = ctx.tape.leaf(uniform(&[8, 3], -1.0, 1.0, &mut rng2));
+        let hy = h.forward(&ctx, &x, 2, 4);
+        let vy = v.forward(&ctx, &x, 2);
+        let loss = ops::add(&ops::sum_squares(&hy), &ops::sum_squares(&vy));
+        ctx.tape.backward(&loss);
+        assert!(h.filters[0].grad().norm2() > 0.0);
+        assert!(v.weight.grad().norm2() > 0.0);
+    }
+}

@@ -1,0 +1,58 @@
+//! Weight initialisation schemes.
+
+use ist_tensor::rng::{randn, uniform, SeedRng};
+use ist_tensor::Tensor;
+
+/// Xavier/Glorot uniform: `U(-a, a)` with `a = √(6/(fan_in+fan_out))`.
+///
+/// The default for projection matrices in this workspace.
+pub fn xavier_uniform(shape: &[usize], rng: &mut SeedRng) -> Tensor {
+    assert!(
+        shape.len() >= 2,
+        "xavier needs a matrix shape, got {shape:?}"
+    );
+    let fan_in = shape[shape.len() - 2];
+    let fan_out = shape[shape.len() - 1];
+    let a = (6.0f32 / (fan_in + fan_out) as f32).sqrt();
+    uniform(shape, -a, a, rng)
+}
+
+/// Truncated-free normal `N(0, std²)` — used for embedding tables
+/// (matching the 0.02-std convention of transformer recommenders).
+pub fn normal(shape: &[usize], std: f32, rng: &mut SeedRng) -> Tensor {
+    randn(shape, std, rng)
+}
+
+/// Zeros — biases and layer-norm betas.
+pub fn zeros(shape: &[usize]) -> Tensor {
+    Tensor::zeros(shape)
+}
+
+/// Ones — layer-norm gammas.
+pub fn ones(shape: &[usize]) -> Tensor {
+    Tensor::ones(shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::rng::SeedRngExt as _;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = SeedRng::seed(1);
+        let w = xavier_uniform(&[64, 32], &mut rng);
+        let a = (6.0f32 / 96.0).sqrt();
+        assert!(w.data().iter().all(|v| v.abs() <= a));
+        // Not degenerate.
+        assert!(w.norm2() > 0.0);
+    }
+
+    #[test]
+    fn normal_std() {
+        let mut rng = SeedRng::seed(2);
+        let w = normal(&[10_000], 0.02, &mut rng);
+        let var = w.data().iter().map(|v| v * v).sum::<f32>() / 10_000.0;
+        assert!((var.sqrt() - 0.02).abs() < 0.003);
+    }
+}

@@ -1,0 +1,26 @@
+//! # ist-nn
+//!
+//! Neural-network building blocks on top of [`ist_autograd`]: layers
+//! (linear, embedding, layer-norm, multi-head self-attention, GRU, GCN,
+//! Caser-style convolutions), initialisation, dropout, optimizers
+//! (SGD, Adam/AdamW) and gradient clipping.
+//!
+//! All forward passes thread a [`Ctx`] carrying the tape, the train/eval
+//! mode and the step RNG, so dropout and Gumbel sampling are reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod attention;
+pub mod conv;
+pub mod ctx;
+pub mod embedding;
+pub mod gcn;
+pub mod init;
+pub mod linear;
+pub mod module;
+pub mod norm;
+pub mod optim;
+pub mod rnn;
+
+pub use ctx::Ctx;
+pub use module::Module;

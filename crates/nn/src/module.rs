@@ -1,0 +1,55 @@
+//! The [`Module`] trait: anything that owns trainable parameters.
+
+use ist_autograd::Param;
+
+/// A container of trainable parameters.
+///
+/// `params()` returns shared handles (cloning a [`Param`] clones the `Rc`),
+/// so optimizers mutate the very tensors the layers read.
+pub trait Module {
+    /// All trainable parameters of this module (including children).
+    fn params(&self) -> Vec<Param>;
+
+    /// Total number of scalar parameters.
+    fn num_parameters(&self) -> usize {
+        self.params().iter().map(|p| p.num_elements()).sum()
+    }
+
+    /// Clears every parameter's gradient accumulator.
+    fn zero_grad(&self) {
+        for p in self.params() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Flattens the parameter lists of several modules.
+pub fn collect_params(modules: &[&dyn Module]) -> Vec<Param> {
+    modules.iter().flat_map(|m| m.params()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::Tensor;
+
+    struct Two(Param, Param);
+    impl Module for Two {
+        fn params(&self) -> Vec<Param> {
+            vec![self.0.clone(), self.1.clone()]
+        }
+    }
+
+    #[test]
+    fn counting_and_zeroing() {
+        let m = Two(
+            Param::new("a", Tensor::ones(&[2, 3])),
+            Param::new("b", Tensor::ones(&[5])),
+        );
+        assert_eq!(m.num_parameters(), 11);
+        m.params()[0].accumulate_grad(&Tensor::ones(&[2, 3]));
+        m.zero_grad();
+        assert_eq!(m.params()[0].grad().norm2(), 0.0);
+        assert_eq!(collect_params(&[&m, &m]).len(), 4);
+    }
+}

@@ -1,0 +1,76 @@
+//! Layer normalisation module.
+
+use ist_autograd::{fused, Param, Var};
+use ist_tensor::Tensor;
+
+use crate::module::Module;
+use crate::Ctx;
+
+/// Layer norm over the last axis with learnable gain/offset.
+pub struct LayerNorm {
+    /// Gain `γ` (init 1).
+    pub gamma: Param,
+    /// Offset `β` (init 0).
+    pub beta: Param,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Standard ε = 1e-5 layer norm over a `dim`-wide last axis.
+    pub fn new(name: &str, dim: usize) -> Self {
+        LayerNorm {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[dim])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Normalises `x: [..., dim]`.
+    pub fn forward(&self, ctx: &Ctx, x: &Var) -> Var {
+        fused::layer_norm_rows(
+            x,
+            &self.gamma.leaf(&ctx.tape),
+            &self.beta.leaf(&ctx.tape),
+            self.eps,
+        )
+    }
+}
+
+impl Module for LayerNorm {
+    fn params(&self) -> Vec<Param> {
+        vec![self.gamma.clone(), self.beta.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+
+    #[test]
+    fn normalises_rows() {
+        let ln = LayerNorm::new("ln", 8);
+        let ctx = Ctx::eval();
+        let mut rng = SeedRng::seed(1);
+        let x = ctx.tape.leaf(uniform(&[4, 8], -3.0, 5.0, &mut rng));
+        let y = ln.forward(&ctx, &x).value();
+        for r in 0..4 {
+            let row = &y.data()[r * 8..(r + 1) * 8];
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn params_receive_gradients() {
+        let ln = LayerNorm::new("ln", 4);
+        let ctx = Ctx::eval();
+        let mut rng = SeedRng::seed(2);
+        let x = ctx.tape.leaf(uniform(&[3, 4], -1.0, 1.0, &mut rng));
+        let y = ln.forward(&ctx, &x);
+        let loss = ist_autograd::ops::sum_squares(&y);
+        ctx.tape.backward(&loss);
+        assert!(ln.gamma.grad().norm2() > 0.0);
+        assert!(ln.beta.grad().norm2() > 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! Optimizers: SGD (with momentum) and Adam (with optional decoupled weight
+//! decay), plus global gradient-norm clipping.
+//!
+//! The paper trains with the conventional Adam + L2 setup (Eq. 14's
+//! `α‖Θ‖²` term); here the regulariser is realised as weight decay, which
+//! for SGD is exactly equivalent and for Adam is the standard practical
+//! substitute (documented in DESIGN.md).
+
+use ist_autograd::Param;
+use ist_tensor::{ops as t, Tensor};
+
+/// Clips the *global* L2 norm of all gradients to `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad().data().iter().map(|v| v * v).sum::<f32>())
+        .sum();
+    let norm = total.sqrt();
+    if norm > max_norm && norm > 0.0 {
+        let scale = max_norm / norm;
+        for p in params {
+            let g = t::scale(&p.grad(), scale);
+            p.zero_grad();
+            p.accumulate_grad(&g);
+        }
+    }
+    norm
+}
+
+/// Plain SGD with optional momentum and (coupled) weight decay.
+pub struct Sgd {
+    params: Vec<Param>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// New optimizer over `params`.
+    pub fn new(params: Vec<Param>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        let velocity = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Sgd {
+            params,
+            lr,
+            momentum,
+            weight_decay,
+            velocity,
+        }
+    }
+
+    /// Applies one update and clears gradients.
+    pub fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            p.update(|value, grad| {
+                // g' = g + wd·θ
+                let mut g = grad.clone();
+                if self.weight_decay > 0.0 {
+                    t::axpy(&mut g, self.weight_decay, value);
+                }
+                if self.momentum > 0.0 {
+                    *v = t::add(&t::scale(v, self.momentum), &g);
+                    t::axpy(value, -self.lr, v);
+                } else {
+                    t::axpy(value, -self.lr, &g);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay
+/// (AdamW-style when `weight_decay > 0`).
+pub struct Adam {
+    params: Vec<Param>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t_step: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the conventional (0.9, 0.999, 1e-8) defaults.
+    pub fn new(params: Vec<Param>, lr: f32, weight_decay: f32) -> Self {
+        let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        Adam {
+            params,
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t_step: 0,
+            m,
+            v,
+        }
+    }
+
+    /// Applies one update and clears gradients.
+    pub fn step(&mut self) {
+        self.t_step += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t_step as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t_step as i32);
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            p.update(|value, grad| {
+                let (b1, b2, eps, wd, lr) =
+                    (self.beta1, self.beta2, self.eps, self.weight_decay, self.lr);
+                for (((val, &g), mi), vi) in value
+                    .data_mut()
+                    .iter_mut()
+                    .zip(grad.data())
+                    .zip(m.data_mut().iter_mut())
+                    .zip(v.data_mut().iter_mut())
+                {
+                    *mi = b1 * *mi + (1.0 - b1) * g;
+                    *vi = b2 * *vi + (1.0 - b2) * g * g;
+                    let mut upd = (*mi / bc1) / ((*vi / bc2).sqrt() + eps);
+                    if wd > 0.0 {
+                        upd += wd * *val;
+                    }
+                    *val -= lr * upd;
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_autograd::{ops, Tape};
+
+    /// Loss (θ-3)² has minimum at 3; both optimizers should approach it.
+    fn quadratic_step(p: &Param) -> f32 {
+        let tape = Tape::new();
+        let w = p.leaf(&tape);
+        let c = tape.constant(Tensor::scalar(3.0));
+        let d = ops::sub(&w, &c);
+        let loss = ops::mul(&d, &d);
+        let l = loss.value().item();
+        tape.backward(&ops::sum_all(&loss));
+        l
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0, 0.0);
+        for _ in 0..100 {
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!((p.value().item() - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let run = |mom: f32| {
+            let p = Param::new("w", Tensor::scalar(0.0));
+            let mut opt = Sgd::new(vec![p.clone()], 0.01, mom, 0.0);
+            for _ in 0..50 {
+                quadratic_step(&p);
+                opt.step();
+            }
+            (p.value().item() - 3.0).abs()
+        };
+        assert!(run(0.9) < run(0.0), "momentum should converge faster here");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = Param::new("w", Tensor::scalar(10.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.3, 0.0);
+        for _ in 0..200 {
+            quadratic_step(&p);
+            opt.step();
+        }
+        assert!(
+            (p.value().item() - 3.0).abs() < 1e-2,
+            "got {}",
+            p.value().item()
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let p = Param::new("w", Tensor::scalar(1.0));
+        let mut opt = Sgd::new(vec![p.clone()], 0.1, 0.0, 0.5);
+        // No loss gradient at all: decay alone must shrink w.
+        for _ in 0..10 {
+            opt.step();
+        }
+        assert!(p.value().item() < 1.0);
+        assert!(p.value().item() > 0.0);
+    }
+
+    #[test]
+    fn clip_reduces_large_gradients() {
+        let p = Param::new("w", Tensor::from_vec(vec![0.0, 0.0], &[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![30.0, 40.0], &[2])); // norm 50
+        let pre = clip_grad_norm(&[p.clone()], 5.0);
+        assert!((pre - 50.0).abs() < 1e-4);
+        assert!((p.grad().norm2() - 5.0).abs() < 1e-4);
+        // Direction preserved.
+        let g = p.grad();
+        assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn step_clears_gradients() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.1, 0.0);
+        quadratic_step(&p);
+        assert!(p.grad().norm2() > 0.0);
+        opt.step();
+        assert_eq!(p.grad().norm2(), 0.0);
+    }
+}

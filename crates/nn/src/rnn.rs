@@ -1,0 +1,193 @@
+//! Gated recurrent units (the GRU4Rec substrate).
+
+use ist_autograd::{ops, Param, Var};
+use ist_tensor::rng::SeedRng;
+use ist_tensor::Tensor;
+
+use crate::init;
+use crate::module::Module;
+use crate::Ctx;
+
+/// A single GRU cell.
+///
+/// ```text
+/// r = σ(x·Wxr + h·Whr + br)        reset gate
+/// z = σ(x·Wxz + h·Whz + bz)        update gate
+/// n = tanh(x·Wxn + r ⊙ (h·Whn) + bn)
+/// h' = (1-z) ⊙ n + z ⊙ h
+/// ```
+pub struct GruCell {
+    wx: [Param; 3],
+    wh: [Param; 3],
+    b: [Param; 3],
+    input_dim: usize,
+    hidden_dim: usize,
+}
+
+impl GruCell {
+    /// New cell mapping `input_dim → hidden_dim`.
+    pub fn new(name: &str, input_dim: usize, hidden_dim: usize, rng: &mut SeedRng) -> Self {
+        let mk_x = |tag: &str, rng: &mut SeedRng| {
+            Param::new(
+                format!("{name}.wx{tag}"),
+                init::xavier_uniform(&[input_dim, hidden_dim], rng),
+            )
+        };
+        let mk_h = |tag: &str, rng: &mut SeedRng| {
+            Param::new(
+                format!("{name}.wh{tag}"),
+                init::xavier_uniform(&[hidden_dim, hidden_dim], rng),
+            )
+        };
+        let mk_b = |tag: &str| Param::new(format!("{name}.b{tag}"), Tensor::zeros(&[hidden_dim]));
+        GruCell {
+            wx: [mk_x("r", rng), mk_x("z", rng), mk_x("n", rng)],
+            wh: [mk_h("r", rng), mk_h("z", rng), mk_h("n", rng)],
+            b: [mk_b("r"), mk_b("z"), mk_b("n")],
+            input_dim,
+            hidden_dim,
+        }
+    }
+
+    /// One step: `x: [B, in]`, `h: [B, hidden]` → new hidden `[B, hidden]`.
+    pub fn step(&self, ctx: &Ctx, x: &Var, h: &Var) -> Var {
+        debug_assert_eq!(x.shape().last(), Some(&self.input_dim));
+        let lin = |i: usize| {
+            let xw = ops::matmul(x, &self.wx[i].leaf(&ctx.tape));
+            let hw = ops::matmul(h, &self.wh[i].leaf(&ctx.tape));
+            (xw, hw, self.b[i].leaf(&ctx.tape))
+        };
+        let (xr, hr, br) = lin(0);
+        let r = ops::sigmoid(&ops::add(&ops::add(&xr, &hr), &br));
+        let (xz, hz, bz) = lin(1);
+        let z = ops::sigmoid(&ops::add(&ops::add(&xz, &hz), &bz));
+        let (xn, hn, bn) = lin(2);
+        let n = ops::tanh(&ops::add(&ops::add(&xn, &ops::mul(&r, &hn)), &bn));
+
+        // h' = (1-z)⊙n + z⊙h = n - z⊙n + z⊙h
+        let zn = ops::mul(&z, &n);
+        let zh = ops::mul(&z, h);
+        ops::add(&ops::sub(&n, &zn), &zh)
+    }
+
+    /// Hidden dimensionality.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+}
+
+impl Module for GruCell {
+    fn params(&self) -> Vec<Param> {
+        self.wx
+            .iter()
+            .chain(&self.wh)
+            .chain(&self.b)
+            .cloned()
+            .collect()
+    }
+}
+
+/// A unidirectional GRU unrolled over batch-major sequences.
+pub struct Gru {
+    cell: GruCell,
+}
+
+impl Gru {
+    /// Single-layer GRU.
+    pub fn new(name: &str, input_dim: usize, hidden_dim: usize, rng: &mut SeedRng) -> Self {
+        Gru {
+            cell: GruCell::new(name, input_dim, hidden_dim, rng),
+        }
+    }
+
+    /// Runs over `x: [B·T, in]` (batch-major) and returns all hidden states
+    /// as `[B·T, hidden]`, batch-major, with `h_0 = 0`.
+    pub fn forward(&self, ctx: &Ctx, x: &Var, batch: usize, len: usize) -> Var {
+        let hd = self.cell.hidden_dim();
+        let mut h = ctx.tape.constant(Tensor::zeros(&[batch, hd]));
+        let mut per_step: Vec<Var> = Vec::with_capacity(len);
+        for t in 0..len {
+            // Gather the batch rows for time step t.
+            let idx: Vec<usize> = (0..batch).map(|b| b * len + t).collect();
+            let xt = ops::index_select_rows(x, &idx);
+            h = self.cell.step(ctx, &xt, &h);
+            per_step.push(h.clone());
+        }
+        // Stack time-major [T·B, hd], then permute to batch-major [B·T, hd].
+        let stacked = ops::concat_rows(&per_step);
+        let perm: Vec<usize> = (0..batch * len)
+            .map(|r| {
+                let (b, t) = (r / len, r % len);
+                t * batch + b
+            })
+            .collect();
+        ops::index_select_rows(&stacked, &perm)
+    }
+}
+
+impl Module for Gru {
+    fn params(&self) -> Vec<Param> {
+        self.cell.params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_tensor::rng::{uniform, SeedRngExt as _};
+
+    #[test]
+    fn step_shapes_and_gate_range() {
+        let mut rng = SeedRng::seed(1);
+        let cell = GruCell::new("g", 4, 6, &mut rng);
+        let ctx = Ctx::eval();
+        let x = ctx.tape.leaf(Tensor::ones(&[3, 4]));
+        let h = ctx.tape.leaf(Tensor::zeros(&[3, 6]));
+        let h2 = cell.step(&ctx, &x, &h);
+        assert_eq!(h2.shape(), vec![3, 6]);
+        // tanh-bounded output
+        assert!(h2.value().data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn sequence_output_is_batch_major() {
+        let mut rng = SeedRng::seed(2);
+        let gru = Gru::new("g", 3, 5, &mut rng);
+        let (b, t) = (2, 4);
+        let ctx = Ctx::eval();
+        let mut rng2 = SeedRng::seed(3);
+        let x = ctx.tape.leaf(uniform(&[b * t, 3], -1.0, 1.0, &mut rng2));
+        let y = gru.forward(&ctx, &x, b, t);
+        assert_eq!(y.shape(), vec![b * t, 5]);
+
+        // Check recurrence: output at (b=1, t=0) must equal one cell step on
+        // x(1, 0) from zero state.
+        let x10 = ops::index_select_rows(&x, &[t]);
+        let h0 = ctx.tape.constant(Tensor::zeros(&[1, 5]));
+        let expect = gru.cell.step(&ctx, &x10, &h0).value();
+        let got = y.value();
+        for j in 0..5 {
+            assert!((got.at2(t, j) - expect.at2(0, j)).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_flow_through_time() {
+        let mut rng = SeedRng::seed(4);
+        let gru = Gru::new("g", 3, 4, &mut rng);
+        let ctx = Ctx::eval();
+        let mut rng2 = SeedRng::seed(5);
+        let x = ctx.tape.leaf(uniform(&[6, 3], -1.0, 1.0, &mut rng2));
+        let y = gru.forward(&ctx, &x, 2, 3);
+        // Only use the LAST time step in the loss; grads must still reach
+        // the input at earlier steps through the recurrence.
+        let last = ops::index_select_rows(&y, &[2, 5]);
+        let loss = ops::sum_squares(&last);
+        let grads = ctx.tape.backward(&loss);
+        let gx = grads[x.id()].as_ref().unwrap();
+        assert!(gx.row(0).norm2() > 0.0, "no gradient at t=0");
+        for p in gru.params() {
+            assert!(p.grad().norm2() >= 0.0);
+        }
+    }
+}

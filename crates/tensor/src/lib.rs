@@ -1,0 +1,52 @@
+//! # ist-tensor
+//!
+//! A small, dependency-light dense tensor library purpose-built for the ISRec
+//! reproduction. Tensors are contiguous, row-major, `f32` arrays with a
+//! dynamic shape. The library favours simplicity and predictability over
+//! generality: every operation materialises its result (there are no lazy
+//! views), which keeps the autodiff layer (`ist-autograd`) straightforward.
+//!
+//! Provided functionality:
+//!
+//! * shape algebra and NumPy-style broadcasting ([`shape`]),
+//! * element-wise arithmetic and transcendental maps ([`ops`]),
+//! * 2-D matrix multiplication (optionally parallelised with crossbeam
+//!   scoped threads) and batched 3-D `bmm` ([`matmul`]),
+//! * reductions, softmax/log-softmax, norms and argmax ([`reduce`]),
+//! * row gather/scatter used for embedding lookups ([`tensor`]),
+//! * seeded random constructors ([`rng`]).
+
+#![forbid(unsafe_code)]
+
+pub mod matmul;
+pub mod ops;
+pub mod reduce;
+pub mod rng;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::{broadcast_shapes, strides_for, Shape};
+pub use tensor::Tensor;
+
+/// Absolute tolerance used by test helpers when comparing floats.
+pub const TEST_EPS: f32 = 1e-4;
+
+/// Asserts that two slices are element-wise close. Panics with a diagnostic
+/// containing the first mismatching index otherwise. Intended for tests.
+pub fn assert_close(actual: &[f32], expected: &[f32], tol: f32) {
+    assert_eq!(
+        actual.len(),
+        expected.len(),
+        "length mismatch: {} vs {}",
+        actual.len(),
+        expected.len()
+    );
+    for (i, (a, e)) in actual.iter().zip(expected.iter()).enumerate() {
+        let diff = (a - e).abs();
+        let scale = 1.0f32.max(e.abs());
+        assert!(
+            diff <= tol * scale,
+            "mismatch at index {i}: actual={a}, expected={e}, |diff|={diff}, tol={tol}"
+        );
+    }
+}

@@ -1,0 +1,264 @@
+//! Reductions (sum/mean/max), softmax family, row norms and argmax.
+//!
+//! "Last-dim" variants treat a rank-R tensor as a stack of rows of length
+//! `shape[R-1]` — the layout every sequence model in this workspace uses.
+
+use crate::Tensor;
+
+/// Sum of all elements.
+pub fn sum(t: &Tensor) -> f32 {
+    t.data().iter().sum()
+}
+
+/// Mean of all elements (0 for empty tensors).
+pub fn mean(t: &Tensor) -> f32 {
+    if t.is_empty() {
+        0.0
+    } else {
+        sum(t) / t.len() as f32
+    }
+}
+
+/// Maximum element. Panics on empty tensors.
+pub fn max(t: &Tensor) -> f32 {
+    t.data().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+}
+
+/// Splits the flat buffer into rows of the last-axis length.
+fn rows_of(t: &Tensor) -> (usize, usize) {
+    let r = t.rank();
+    assert!(r >= 1, "last-dim reduction requires rank ≥ 1");
+    let n = t.shape()[r - 1];
+    (t.len() / n.max(1), n)
+}
+
+/// Sums along the last axis: `[..., n] → [...]` (kept as `[rows]`-shaped
+/// tensor with the leading shape preserved).
+pub fn sum_lastdim(t: &Tensor) -> Tensor {
+    let (rows, n) = rows_of(t);
+    let mut out = vec![0.0f32; rows];
+    for (r, slot) in out.iter_mut().enumerate() {
+        *slot = t.data()[r * n..(r + 1) * n].iter().sum();
+    }
+    let mut shape = t.shape().to_vec();
+    shape.pop();
+    Tensor::from_vec(out, &shape)
+}
+
+/// Means along the last axis.
+pub fn mean_lastdim(t: &Tensor) -> Tensor {
+    let (_, n) = rows_of(t);
+    let s = sum_lastdim(t);
+    crate::ops::scale(&s, 1.0 / n as f32)
+}
+
+/// Row-wise numerically stable softmax along the last axis.
+pub fn softmax_lastdim(t: &Tensor) -> Tensor {
+    let (rows, n) = rows_of(t);
+    let mut out = vec![0.0f32; t.len()];
+    for r in 0..rows {
+        let row = &t.data()[r * n..(r + 1) * n];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let dst = &mut out[r * n..(r + 1) * n];
+        let mut z = 0.0f32;
+        for (d, &v) in dst.iter_mut().zip(row) {
+            let e = (v - m).exp();
+            *d = e;
+            z += e;
+        }
+        let inv = 1.0 / z;
+        for d in dst.iter_mut() {
+            *d *= inv;
+        }
+    }
+    Tensor::from_vec(out, t.shape())
+}
+
+/// Row-wise log-softmax along the last axis (stable: `x - m - ln Σ e^{x-m}`).
+pub fn log_softmax_lastdim(t: &Tensor) -> Tensor {
+    let (rows, n) = rows_of(t);
+    let mut out = vec![0.0f32; t.len()];
+    for r in 0..rows {
+        let row = &t.data()[r * n..(r + 1) * n];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+        for (d, &v) in out[r * n..(r + 1) * n].iter_mut().zip(row) {
+            *d = v - lse;
+        }
+    }
+    Tensor::from_vec(out, t.shape())
+}
+
+/// Row-wise log-sum-exp along the last axis.
+pub fn logsumexp_lastdim(t: &Tensor) -> Tensor {
+    let (rows, n) = rows_of(t);
+    let mut out = vec![0.0f32; rows];
+    for (r, slot) in out.iter_mut().enumerate() {
+        let row = &t.data()[r * n..(r + 1) * n];
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        *slot = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+    }
+    let mut shape = t.shape().to_vec();
+    shape.pop();
+    Tensor::from_vec(out, &shape)
+}
+
+/// Index of the maximum in each last-axis row.
+pub fn argmax_lastdim(t: &Tensor) -> Vec<usize> {
+    let (rows, n) = rows_of(t);
+    (0..rows)
+        .map(|r| {
+            let row = &t.data()[r * n..(r + 1) * n];
+            row.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Indices of the `k` largest values in each last-axis row, descending.
+/// Ties are broken by the lower index (deterministic).
+pub fn topk_lastdim(t: &Tensor, k: usize) -> Vec<Vec<usize>> {
+    let (rows, n) = rows_of(t);
+    assert!(k <= n, "topk k={} exceeds row length {}", k, n);
+    (0..rows)
+        .map(|r| {
+            let row = &t.data()[r * n..(r + 1) * n];
+            let mut idx: Vec<usize> = (0..n).collect();
+            idx.sort_by(|&a, &b| {
+                row[b]
+                    .partial_cmp(&row[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(a.cmp(&b))
+            });
+            idx.truncate(k);
+            idx
+        })
+        .collect()
+}
+
+/// L2 norm of each last-axis row: `[..., n] → [...]`.
+pub fn norm2_lastdim(t: &Tensor) -> Tensor {
+    let (rows, n) = rows_of(t);
+    let mut out = vec![0.0f32; rows];
+    for (r, slot) in out.iter_mut().enumerate() {
+        let row = &t.data()[r * n..(r + 1) * n];
+        *slot = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+    }
+    let mut shape = t.shape().to_vec();
+    shape.pop();
+    Tensor::from_vec(out, &shape)
+}
+
+/// Row-wise cosine similarity between every row of `x` (`[m, d]`) and every
+/// row of `c` (`[k, d]`), producing `[m, k]`. Rows with zero norm yield 0.
+///
+/// This is Eq. (6) of the ISRec paper vectorised over positions/concepts.
+pub fn cosine_similarity_rows(x: &Tensor, c: &Tensor) -> Tensor {
+    assert_eq!(x.rank(), 2);
+    assert_eq!(c.rank(), 2);
+    assert_eq!(x.shape()[1], c.shape()[1], "feature dims disagree");
+    let dots = crate::matmul::matmul(x, &c.t());
+    let nx = norm2_lastdim(x);
+    let nc = norm2_lastdim(c);
+    let (m, k) = (x.shape()[0], c.shape()[0]);
+    let mut out = vec![0.0f32; m * k];
+    for i in 0..m {
+        for j in 0..k {
+            let denom = nx.data()[i] * nc.data()[j];
+            out[i * k + j] = if denom > 0.0 {
+                dots.data()[i * k + j] / denom
+            } else {
+                0.0
+            };
+        }
+    }
+    Tensor::from_vec(out, &[m, k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+
+    #[test]
+    fn scalar_reductions() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4.], &[2, 2]);
+        assert_eq!(sum(&t), 10.0);
+        assert_eq!(mean(&t), 2.5);
+        assert_eq!(max(&t), 4.0);
+    }
+
+    #[test]
+    fn lastdim_sums_and_means() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(sum_lastdim(&t).data(), &[6., 15.]);
+        assert_close(mean_lastdim(&t).data(), &[2., 5.], 1e-6);
+        assert_eq!(sum_lastdim(&t).shape(), &[2]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_shift_invariant() {
+        let t = Tensor::from_vec(vec![1., 2., 3., -5., 0., 5.], &[2, 3]);
+        let s = softmax_lastdim(&t);
+        for r in 0..2 {
+            let rowsum: f32 = s.data()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((rowsum - 1.0).abs() < 1e-6);
+        }
+        let shifted = softmax_lastdim(&crate::ops::add_scalar(&t, 100.0));
+        assert_close(shifted.data(), s.data(), 1e-5);
+    }
+
+    #[test]
+    fn log_softmax_consistency() {
+        let t = Tensor::from_vec(vec![0.5, -1.0, 2.0], &[1, 3]);
+        let ls = log_softmax_lastdim(&t);
+        let s = softmax_lastdim(&t);
+        assert_close(ls.data(), &crate::ops::ln(&s).into_vec(), 1e-5);
+        let lse = logsumexp_lastdim(&t);
+        assert!(
+            (lse.data()[0] - (0.5f32.exp() + (-1.0f32).exp() + 2.0f32.exp()).ln()).abs() < 1e-5
+        );
+    }
+
+    #[test]
+    fn argmax_and_topk() {
+        let t = Tensor::from_vec(vec![0.1, 0.9, 0.5, 3.0, -1.0, 2.0], &[2, 3]);
+        assert_eq!(argmax_lastdim(&t), vec![1, 0]);
+        let tk = topk_lastdim(&t, 2);
+        assert_eq!(tk[0], vec![1, 2]);
+        assert_eq!(tk[1], vec![0, 2]);
+    }
+
+    #[test]
+    fn topk_tie_break_deterministic() {
+        let t = Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0], &[1, 4]);
+        assert_eq!(topk_lastdim(&t, 2)[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn row_norms() {
+        let t = Tensor::from_vec(vec![3., 4., 0., 0.], &[2, 2]);
+        assert_close(norm2_lastdim(&t).data(), &[5., 0.], 1e-6);
+    }
+
+    #[test]
+    fn cosine_rows() {
+        let x = Tensor::from_vec(vec![1., 0., 2., 0.], &[2, 2]);
+        let c = Tensor::from_vec(vec![1., 0., 0., 1., 1., 1.], &[3, 2]);
+        let s = cosine_similarity_rows(&x, &c);
+        assert_eq!(s.shape(), &[2, 3]);
+        // Both x rows point along e1: cos = 1, 0, 1/√2; scale-invariant.
+        let inv_sqrt2 = 1.0 / 2f32.sqrt();
+        assert_close(s.data(), &[1., 0., inv_sqrt2, 1., 0., inv_sqrt2], 1e-5);
+    }
+
+    #[test]
+    fn cosine_zero_row_is_zero() {
+        let x = Tensor::zeros(&[1, 2]);
+        let c = Tensor::ones(&[1, 2]);
+        assert_eq!(cosine_similarity_rows(&x, &c).data(), &[0.0]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Seeded random tensor constructors.
+//!
+//! Every stochastic component in the workspace draws from an explicitly
+//! seeded [`SeedRng`], so whole experiments are reproducible from one `u64`.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Tensor;
+
+/// The workspace-wide RNG type: `rand`'s portable `StdRng`.
+pub type SeedRng = StdRng;
+
+/// Extension trait adding a uniform constructor name used across the repo.
+pub trait SeedRngExt {
+    /// Builds the RNG from a 64-bit seed.
+    fn seed(seed: u64) -> Self;
+}
+
+impl SeedRngExt for SeedRng {
+    fn seed(seed: u64) -> Self {
+        StdRng::seed_from_u64(seed)
+    }
+}
+
+// Re-export so callers can write `SeedRng::seed(…)` with one import.
+pub use SeedRngExt as _;
+
+/// Tensor of i.i.d. `N(0, std²)` samples (Box–Muller via `rand`).
+pub fn randn(shape: &[usize], std: f32, rng: &mut SeedRng) -> Tensor {
+    let normal = StandardNormal;
+    let data = (0..crate::shape::num_elements(shape))
+        .map(|_| normal.sample(rng) * std)
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Tensor of i.i.d. `U[lo, hi)` samples.
+pub fn uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut SeedRng) -> Tensor {
+    let data = (0..crate::shape::num_elements(shape))
+        .map(|_| rng.gen_range(lo..hi))
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Tensor of i.i.d. Bernoulli(p) samples in {0, 1}.
+pub fn bernoulli(shape: &[usize], p: f32, rng: &mut SeedRng) -> Tensor {
+    let data = (0..crate::shape::num_elements(shape))
+        .map(|_| if rng.gen::<f32>() < p { 1.0 } else { 0.0 })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// Tensor of i.i.d. standard Gumbel samples: `-ln(-ln U)`, `U ~ U(0,1)`.
+///
+/// Used by the Gumbel-Softmax intent sampler (Eq. 5 of the paper).
+pub fn gumbel(shape: &[usize], rng: &mut SeedRng) -> Tensor {
+    let data = (0..crate::shape::num_elements(shape))
+        .map(|_| {
+            // Clamp away from 0/1 to keep the double log finite.
+            let u: f32 = rng.gen_range(1e-9f32..1.0 - 1e-7);
+            -(-u.ln()).ln()
+        })
+        .collect();
+    Tensor::from_vec(data, shape)
+}
+
+/// A minimal standard-normal distribution (Marsaglia polar method) so we do
+/// not depend on `rand_distr`.
+struct StandardNormal;
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        loop {
+            let u: f32 = rng.gen_range(-1.0f32..1.0);
+            let v: f32 = rng.gen_range(-1.0f32..1.0);
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = SeedRng::seed(42);
+        let mut b = SeedRng::seed(42);
+        assert_eq!(
+            randn(&[4, 4], 1.0, &mut a).data(),
+            randn(&[4, 4], 1.0, &mut b).data()
+        );
+        assert_eq!(
+            uniform(&[8], 0.0, 1.0, &mut a).data(),
+            uniform(&[8], 0.0, 1.0, &mut b).data()
+        );
+    }
+
+    #[test]
+    fn randn_moments_roughly_standard() {
+        let mut rng = SeedRng::seed(1);
+        let t = randn(&[10_000], 1.0, &mut rng);
+        let mean = crate::reduce::mean(&t);
+        let var = t
+            .data()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn uniform_within_bounds() {
+        let mut rng = SeedRng::seed(2);
+        let t = uniform(&[1000], -2.0, 3.0, &mut rng);
+        assert!(t.data().iter().all(|&v| (-2.0..3.0).contains(&v)));
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = SeedRng::seed(3);
+        let t = bernoulli(&[10_000], 0.3, &mut rng);
+        let rate = crate::reduce::mean(&t);
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!(t.data().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn gumbel_finite_and_right_skewed() {
+        let mut rng = SeedRng::seed(4);
+        let t = gumbel(&[10_000], &mut rng);
+        assert!(!t.has_non_finite());
+        // Standard Gumbel mean is the Euler–Mascheroni constant ≈ 0.5772.
+        let mean = crate::reduce::mean(&t);
+        assert!((mean - 0.5772).abs() < 0.06, "mean {mean}");
+    }
+}

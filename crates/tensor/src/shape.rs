@@ -1,0 +1,184 @@
+//! Shape algebra: ranks, element counts, row-major strides and NumPy-style
+//! broadcasting rules.
+
+/// A tensor shape: the extent of each axis, outermost first.
+///
+/// A rank-0 shape (`[]`) denotes a scalar with exactly one element.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (product of all extents; 1 for scalars).
+    pub fn num_elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Borrow the extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl std::fmt::Debug for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+/// Row-major strides for `dims`: the distance (in elements) between
+/// consecutive indices along each axis.
+///
+/// ```
+/// assert_eq!(ist_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+/// Number of elements implied by `dims`.
+pub fn num_elements(dims: &[usize]) -> usize {
+    dims.iter().product()
+}
+
+/// Computes the broadcast shape of `a` and `b` under NumPy rules:
+/// shapes are right-aligned, and each axis pair must be equal or contain a 1.
+///
+/// Returns `None` when the shapes are incompatible.
+///
+/// ```
+/// use ist_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]), Some(vec![4, 2, 3]));
+/// assert_eq!(broadcast_shapes(&[4, 2], &[3]), None);
+/// ```
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for i in 0..rank {
+        // Right-aligned axis extents; missing axes behave like extent 1.
+        let da = if i < rank - a.len() {
+            1
+        } else {
+            a[i - (rank - a.len())]
+        };
+        let db = if i < rank - b.len() {
+            1
+        } else {
+            b[i - (rank - b.len())]
+        };
+        if da == db || db == 1 {
+            out[i] = da.max(db);
+        } else if da == 1 {
+            out[i] = db;
+        } else {
+            return None;
+        }
+    }
+    Some(out)
+}
+
+/// Maps a flat index in the broadcast output shape to the flat index in an
+/// input with shape `in_dims` (right-aligned, broadcast axes contribute 0).
+pub fn broadcast_source_index(flat: usize, out_dims: &[usize], in_dims: &[usize]) -> usize {
+    let out_strides = strides_for(out_dims);
+    let in_strides = strides_for(in_dims);
+    let offset = out_dims.len() - in_dims.len();
+    let mut src = 0usize;
+    let mut rem = flat;
+    for (axis, (&extent, &stride)) in out_dims.iter().zip(out_strides.iter()).enumerate() {
+        let idx = rem / stride;
+        rem %= stride;
+        debug_assert!(idx < extent);
+        if axis >= offset {
+            let in_axis = axis - offset;
+            if in_dims[in_axis] != 1 {
+                src += idx * in_strides[in_axis];
+            }
+        }
+    }
+    src
+}
+
+/// Validates that `dims` describes the same number of elements as `len`.
+/// Panics otherwise — reshape misuse is a programming error, not a runtime
+/// condition.
+pub fn check_reshape(len: usize, dims: &[usize]) {
+    assert_eq!(
+        num_elements(dims),
+        len,
+        "cannot reshape {} elements into {:?}",
+        len,
+        dims
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[4, 2], &[3]), None);
+    }
+
+    #[test]
+    fn broadcast_source_index_maps_correctly() {
+        // out [2,3], in [1,3]: rows collapse.
+        let out = [2, 3];
+        let inp = [1, 3];
+        let idx: Vec<usize> = (0..6)
+            .map(|f| broadcast_source_index(f, &out, &inp))
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 0, 1, 2]);
+        // in [3]: right-aligned, same result.
+        let idx: Vec<usize> = (0..6)
+            .map(|f| broadcast_source_index(f, &out, &[3]))
+            .collect();
+        assert_eq!(idx, vec![0, 1, 2, 0, 1, 2]);
+        // in [2,1]: columns collapse.
+        let idx: Vec<usize> = (0..6)
+            .map(|f| broadcast_source_index(f, &out, &[2, 1]))
+            .collect();
+        assert_eq!(idx, vec![0, 0, 0, 1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_check_panics() {
+        check_reshape(6, &[4, 2]);
+    }
+
+    #[test]
+    fn shape_struct() {
+        let s = Shape::from(&[2usize, 3][..]);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.num_elements(), 6);
+        assert_eq!(s.dims(), &[2, 3]);
+        assert_eq!(format!("{:?}", s), "[2, 3]");
+    }
+}

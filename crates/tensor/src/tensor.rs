@@ -1,0 +1,484 @@
+//! The [`Tensor`] type: a contiguous, row-major, dynamically shaped `f32`
+//! array, plus structural operations (reshape, transpose, gather/scatter,
+//! concatenation, slicing).
+
+use crate::shape::{check_reshape, num_elements, strides_for};
+
+/// A dense, contiguous, row-major `f32` tensor.
+///
+/// Invariant: `data.len() == shape.iter().product()` at all times.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print at most a handful of leading elements: tensors can be huge.
+        let head: Vec<f32> = self.data.iter().take(8).copied().collect();
+        let ellipsis = if self.data.len() > 8 { ", …" } else { "" };
+        write!(f, "Tensor{:?} {:?}{}", self.shape, head, ellipsis)
+    }
+}
+
+impl Tensor {
+    // ----- constructors -------------------------------------------------
+
+    /// Builds a tensor from raw data and a shape. Panics if sizes disagree.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        check_reshape(data.len(), shape);
+        Tensor {
+            data,
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor {
+            data: vec![value; num_elements(shape)],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// All ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Rank-0 scalar.
+    pub fn scalar(value: f32) -> Self {
+        Tensor {
+            data: vec![value],
+            shape: vec![],
+        }
+    }
+
+    /// Identity matrix of size `n × n`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    // ----- accessors ----------------------------------------------------
+
+    /// Shape extents, outermost first.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor holds no elements (some axis has extent 0).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the backing buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the backing buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns the backing buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a scalar or 1-element tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(
+            self.data.len(),
+            1,
+            "item() requires exactly one element, shape {:?}",
+            self.shape
+        );
+        self.data[0]
+    }
+
+    /// Element accessor for 2-D tensors.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Element accessor for 3-D tensors.
+    pub fn at3(&self, i: usize, j: usize, k: usize) -> f32 {
+        debug_assert_eq!(self.rank(), 3);
+        self.data[(i * self.shape[1] + j) * self.shape[2] + k]
+    }
+
+    // ----- structure ----------------------------------------------------
+
+    /// Returns the same data under a new shape with equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        check_reshape(self.data.len(), shape);
+        Tensor {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// In-place reshape (avoids the buffer clone of [`Tensor::reshape`]).
+    pub fn reshape_inplace(mut self, shape: &[usize]) -> Tensor {
+        check_reshape(self.data.len(), shape);
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// 2-D transpose: `[m, n] → [n, m]`.
+    pub fn t(&self) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            2,
+            "t() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![n, m],
+        }
+    }
+
+    /// Transposes the last two axes of a tensor of rank ≥ 2
+    /// (`[..., m, n] → [..., n, m]`). Used for batched attention.
+    pub fn transpose_last2(&self) -> Tensor {
+        let r = self.rank();
+        assert!(
+            r >= 2,
+            "transpose_last2 requires rank ≥ 2, got {:?}",
+            self.shape
+        );
+        let m = self.shape[r - 2];
+        let n = self.shape[r - 1];
+        let batch = self.data.len() / (m * n);
+        let mut out = vec![0.0f32; self.data.len()];
+        for b in 0..batch {
+            let src = &self.data[b * m * n..(b + 1) * m * n];
+            let dst = &mut out[b * m * n..(b + 1) * m * n];
+            for i in 0..m {
+                for j in 0..n {
+                    dst[j * m + i] = src[i * n + j];
+                }
+            }
+        }
+        let mut shape = self.shape.clone();
+        shape.swap(r - 2, r - 1);
+        Tensor { data: out, shape }
+    }
+
+    /// Swaps the first two axes of a rank-3 tensor: `[A, B, C] → [B, A, C]`.
+    ///
+    /// Used to apply one graph adjacency to a whole batch of node-feature
+    /// matrices with a single GEMM.
+    pub fn transpose_01(&self) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            3,
+            "transpose_01 requires rank 3, got {:?}",
+            self.shape
+        );
+        let (a, b, c) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = vec![0.0f32; self.data.len()];
+        for i in 0..a {
+            for j in 0..b {
+                let src = &self.data[(i * b + j) * c..(i * b + j + 1) * c];
+                out[(j * a + i) * c..(j * a + i + 1) * c].copy_from_slice(src);
+            }
+        }
+        Tensor {
+            data: out,
+            shape: vec![b, a, c],
+        }
+    }
+
+    /// Extracts row `i` of a 2-D tensor as a `[n]` tensor.
+    pub fn row(&self, i: usize) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        let n = self.shape[1];
+        Tensor {
+            data: self.data[i * n..(i + 1) * n].to_vec(),
+            shape: vec![n],
+        }
+    }
+
+    /// Gathers rows of a 2-D tensor: `out[r, :] = self[indices[r], :]`.
+    ///
+    /// This is the embedding-lookup primitive.
+    pub fn index_select_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(
+            self.rank(),
+            2,
+            "index_select_rows needs 2-D, got {:?}",
+            self.shape
+        );
+        let n = self.shape[1];
+        let mut data = Vec::with_capacity(indices.len() * n);
+        for &ix in indices {
+            assert!(
+                ix < self.shape[0],
+                "row index {} out of bounds for {:?}",
+                ix,
+                self.shape
+            );
+            data.extend_from_slice(&self.data[ix * n..(ix + 1) * n]);
+        }
+        Tensor {
+            data,
+            shape: vec![indices.len(), n],
+        }
+    }
+
+    /// Scatter-add of rows: `self[indices[r], :] += src[r, :]`.
+    ///
+    /// The adjoint of [`Tensor::index_select_rows`]; duplicate indices
+    /// accumulate.
+    pub fn scatter_add_rows(&mut self, indices: &[usize], src: &Tensor) {
+        assert_eq!(self.rank(), 2);
+        assert_eq!(src.rank(), 2);
+        assert_eq!(src.shape[0], indices.len());
+        assert_eq!(src.shape[1], self.shape[1]);
+        let n = self.shape[1];
+        for (r, &ix) in indices.iter().enumerate() {
+            let dst = &mut self.data[ix * n..(ix + 1) * n];
+            let s = &src.data[r * n..(r + 1) * n];
+            for (d, v) in dst.iter_mut().zip(s) {
+                *d += v;
+            }
+        }
+    }
+
+    /// Concatenates 2-D tensors along axis 0 (rows).
+    pub fn concat_rows(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty());
+        let n = parts[0].shape[1];
+        let mut rows = 0usize;
+        for p in parts {
+            assert_eq!(p.rank(), 2);
+            assert_eq!(p.shape[1], n, "column mismatch in concat_rows");
+            rows += p.shape[0];
+        }
+        let mut data = Vec::with_capacity(rows * n);
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        Tensor {
+            data,
+            shape: vec![rows, n],
+        }
+    }
+
+    /// Slices rows `[start, end)` of a 2-D tensor.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Tensor {
+        assert_eq!(self.rank(), 2);
+        assert!(start <= end && end <= self.shape[0]);
+        let n = self.shape[1];
+        Tensor {
+            data: self.data[start * n..end * n].to_vec(),
+            shape: vec![end - start, n],
+        }
+    }
+
+    /// Materialises this tensor broadcast to `dims` (NumPy rules).
+    pub fn broadcast_to(&self, dims: &[usize]) -> Tensor {
+        if self.shape == dims {
+            return self.clone();
+        }
+        let out_len = num_elements(dims);
+        let mut data = vec![0.0f32; out_len];
+        // Fast path: broadcasting a row vector [n] or [1, n] over [m, n].
+        if dims.len() == 2 && (self.shape == [dims[1]] || self.shape == [1, dims[1]]) {
+            for r in 0..dims[0] {
+                data[r * dims[1]..(r + 1) * dims[1]].copy_from_slice(&self.data);
+            }
+            return Tensor {
+                data,
+                shape: dims.to_vec(),
+            };
+        }
+        for (flat, slot) in data.iter_mut().enumerate() {
+            let src = crate::shape::broadcast_source_index(flat, dims, &self.shape);
+            *slot = self.data[src];
+        }
+        Tensor {
+            data,
+            shape: dims.to_vec(),
+        }
+    }
+
+    /// Sums a tensor that was broadcast from `orig_dims` back down to
+    /// `orig_dims` (the adjoint of [`Tensor::broadcast_to`]).
+    pub fn reduce_to(&self, orig_dims: &[usize]) -> Tensor {
+        if self.shape == orig_dims {
+            return self.clone();
+        }
+        // Fast path: suffix reduction ([..., suffix…] → [suffix…]).
+        if !orig_dims.is_empty()
+            && orig_dims.len() < self.shape.len()
+            && self.shape.ends_with(orig_dims)
+        {
+            let n = crate::shape::num_elements(orig_dims);
+            let mut out = vec![0.0f32; n];
+            for chunk in self.data.chunks_exact(n) {
+                for (o, v) in out.iter_mut().zip(chunk) {
+                    *o += v;
+                }
+            }
+            return Tensor {
+                data: out,
+                shape: orig_dims.to_vec(),
+            };
+        }
+        // Fast path: last-axis collapse ([..., n] → [..., 1]).
+        if orig_dims.len() == self.shape.len()
+            && orig_dims.last() == Some(&1)
+            && orig_dims[..orig_dims.len() - 1] == self.shape[..self.shape.len() - 1]
+        {
+            let n = *self.shape.last().expect("non-empty");
+            let data: Vec<f32> = self.data.chunks_exact(n).map(|c| c.iter().sum()).collect();
+            return Tensor {
+                data,
+                shape: orig_dims.to_vec(),
+            };
+        }
+        let mut out = Tensor::zeros(orig_dims);
+        for (flat, v) in self.data.iter().enumerate() {
+            let src = crate::shape::broadcast_source_index(flat, &self.shape, orig_dims);
+            out.data[src] += v;
+        }
+        out
+    }
+
+    /// Frobenius / L2 norm of the whole tensor.
+    pub fn norm2(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// True if any element is NaN or infinite. Used by training sanity checks.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|v| !v.is_finite())
+    }
+
+    /// Strides of this tensor (row-major).
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construct_and_access() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at2(1, 2), 6.0);
+        assert_eq!(t.row(1).data(), &[4., 5., 6.]);
+        assert_eq!(Tensor::scalar(3.5).item(), 3.5);
+        assert_eq!(Tensor::eye(3).at2(2, 2), 1.0);
+        assert_eq!(Tensor::eye(3).at2(0, 2), 0.0);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let tt = t.t();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.data(), &[1., 4., 2., 5., 3., 6.]);
+        // Double transpose is identity.
+        assert_eq!(tt.t(), t);
+    }
+
+    #[test]
+    fn transpose_last2_batched() {
+        let t = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[2, 2, 3]);
+        let tt = t.transpose_last2();
+        assert_eq!(tt.shape(), &[2, 3, 2]);
+        assert_eq!(tt.at3(0, 2, 1), t.at3(0, 1, 2));
+        assert_eq!(tt.at3(1, 0, 1), t.at3(1, 1, 0));
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let emb = Tensor::from_vec(vec![0., 0., 1., 1., 2., 2.], &[3, 2]);
+        let got = emb.index_select_rows(&[2, 0, 2]);
+        assert_eq!(got.data(), &[2., 2., 0., 0., 2., 2.]);
+
+        let mut grad = Tensor::zeros(&[3, 2]);
+        grad.scatter_add_rows(&[2, 0, 2], &Tensor::ones(&[3, 2]));
+        // Row 2 selected twice accumulates 2.
+        assert_eq!(grad.data(), &[1., 1., 0., 0., 2., 2.]);
+    }
+
+    #[test]
+    fn broadcast_and_reduce_are_adjoint() {
+        let bias = Tensor::from_vec(vec![1., 2., 3.], &[3]);
+        let b = bias.broadcast_to(&[4, 3]);
+        assert_eq!(b.shape(), &[4, 3]);
+        assert_eq!(b.at2(3, 1), 2.0);
+        let r = Tensor::ones(&[4, 3]).reduce_to(&[3]);
+        assert_eq!(r.data(), &[4., 4., 4.]);
+        let r2 = Tensor::ones(&[4, 3]).reduce_to(&[4, 1]);
+        assert_eq!(r2.data(), &[3., 3., 3., 3.]);
+    }
+
+    #[test]
+    fn concat_and_slice() {
+        let a = Tensor::from_vec(vec![1., 2.], &[1, 2]);
+        let b = Tensor::from_vec(vec![3., 4., 5., 6.], &[2, 2]);
+        let c = Tensor::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.slice_rows(1, 3), b);
+    }
+
+    #[test]
+    fn reshape_checks() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert_eq!(t.reshape(&[3, 2]).shape(), &[3, 2]);
+        assert_eq!(t.reshape(&[6]).shape(), &[6]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn reshape_bad_panics() {
+        Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn norm_and_finite() {
+        let t = Tensor::from_vec(vec![3., 4.], &[2]);
+        assert!((t.norm2() - 5.0).abs() < 1e-6);
+        assert!(!t.has_non_finite());
+        let bad = Tensor::from_vec(vec![f32::NAN], &[1]);
+        assert!(bad.has_non_finite());
+    }
+}

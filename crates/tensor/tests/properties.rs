@@ -1,0 +1,133 @@
+//! Property-based tests of the tensor algebra (proptest).
+
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::{broadcast_shapes, matmul, ops, reduce, Tensor};
+use proptest::prelude::*;
+
+fn small_dims() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(1usize..5, 1..4)
+}
+
+fn tensor_of(dims: &[usize], seed: u64) -> Tensor {
+    let mut rng = SeedRng::seed(seed);
+    uniform(dims, -2.0, 2.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn broadcast_is_commutative_for_add(dims in small_dims(), seed in 0u64..1000) {
+        // a + row == row + a under row broadcasting.
+        let a = tensor_of(&dims, seed);
+        let last = *dims.last().unwrap();
+        let row = tensor_of(&[last], seed + 1);
+        let ab = ops::add(&a, &row);
+        let ba = ops::add(&row, &a);
+        prop_assert_eq!(ab.data(), ba.data());
+        prop_assert_eq!(ab.shape(), a.shape());
+    }
+
+    #[test]
+    fn broadcast_shapes_is_symmetric(a in small_dims(), b in small_dims()) {
+        prop_assert_eq!(broadcast_shapes(&a, &b), broadcast_shapes(&b, &a));
+    }
+
+    #[test]
+    fn reduce_to_is_adjoint_of_broadcast(dims in small_dims(), seed in 0u64..1000) {
+        // ⟨broadcast(x), y⟩ == ⟨x, reduce(y)⟩ — the defining adjoint
+        // property used by every broadcast backward rule.
+        let last = *dims.last().unwrap();
+        let x = tensor_of(&[last], seed);
+        let y = tensor_of(&dims, seed + 7);
+        let bx = x.broadcast_to(&dims);
+        let ry = y.reduce_to(&[last]);
+        let lhs: f32 = bx.data().iter().zip(y.data()).map(|(p, q)| p * q).sum();
+        let rhs: f32 = x.data().iter().zip(ry.data()).map(|(p, q)| p * q).sum();
+        prop_assert!((lhs - rhs).abs() <= 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let a = tensor_of(&[m, k], seed);
+        let b = tensor_of(&[k, n], seed + 1);
+        let c = tensor_of(&[k, n], seed + 2);
+        let lhs = matmul::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&matmul::matmul(&a, &b), &matmul::matmul(&a, &c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in 1usize..6, n in 1usize..6, seed in 0u64..1000) {
+        let a = tensor_of(&[m, n], seed);
+        let att = a.t().t();
+        prop_assert_eq!(att.data(), a.data());
+        let b = tensor_of(&[2, m, n], seed + 3);
+        let b_last2 = b.transpose_last2().transpose_last2();
+        prop_assert_eq!(b_last2.data(), b.data());
+        let b_01 = b.transpose_01().transpose_01();
+        prop_assert_eq!(b_01.data(), b.data());
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..6, cols in 1usize..8, seed in 0u64..1000) {
+        let t = tensor_of(&[rows, cols], seed);
+        let s = reduce::softmax_lastdim(&t);
+        for r in 0..rows {
+            let row = &s.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5);
+            prop_assert!(row.iter().all(|&v| v >= 0.0));
+        }
+        // argmax is preserved by softmax.
+        prop_assert_eq!(reduce::argmax_lastdim(&t), reduce::argmax_lastdim(&s));
+    }
+
+    #[test]
+    fn topk_returns_k_distinct_best(rows in 1usize..4, cols in 2usize..9, seed in 0u64..1000) {
+        let t = tensor_of(&[rows, cols], seed);
+        let k = 1 + seed as usize % cols;
+        let tk = reduce::topk_lastdim(&t, k);
+        for (r, idx) in tk.iter().enumerate() {
+            prop_assert_eq!(idx.len(), k);
+            let set: std::collections::HashSet<_> = idx.iter().collect();
+            prop_assert_eq!(set.len(), k);
+            // Every excluded entry is ≤ the smallest included entry.
+            let worst_in = idx.iter().map(|&j| t.at2(r, j)).fold(f32::INFINITY, f32::min);
+            for j in 0..cols {
+                if !idx.contains(&j) {
+                    prop_assert!(t.at2(r, j) <= worst_in + 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_recovers_row_counts(rows in 2usize..6, seed in 0u64..1000) {
+        let table = tensor_of(&[rows, 3], seed);
+        let idx: Vec<usize> = (0..rows * 2).map(|i| i % rows).collect();
+        let picked = table.index_select_rows(&idx);
+        let mut acc = Tensor::zeros(&[rows, 3]);
+        acc.scatter_add_rows(&idx, &picked);
+        // Each row was picked exactly twice.
+        for r in 0..rows {
+            for c in 0..3 {
+                prop_assert!((acc.at2(r, c) - 2.0 * table.at2(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn logsumexp_bounds_max(rows in 1usize..5, cols in 1usize..8, seed in 0u64..1000) {
+        let t = tensor_of(&[rows, cols], seed);
+        let lse = reduce::logsumexp_lastdim(&t);
+        for r in 0..rows {
+            let row = &t.data()[r * cols..(r + 1) * cols];
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(lse.data()[r] >= max - 1e-5);
+            prop_assert!(lse.data()[r] <= max + (cols as f32).ln() + 1e-5);
+        }
+    }
+}

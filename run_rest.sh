@@ -1,0 +1,11 @@
+#!/bin/bash
+cd /root/repo
+# wait for table2 to finish
+while kill -0 17743 2>/dev/null; do sleep 10; done
+./target/release/table5 > results/table5.txt 2> results/table5.log
+./target/release/fig2   > results/fig2.txt   2> results/fig2.log
+./target/release/fig3   > results/fig3.txt   2> results/fig3.log
+./target/release/fig4   > results/fig4.txt   2> results/fig4.log
+./target/release/table6 > results/table6.txt 2> results/table6.log
+./target/release/ablation_extra > results/ablation_extra.txt 2> results/ablation_extra.log
+echo ALL_DONE > results/QUEUE_DONE

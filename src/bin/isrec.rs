@@ -1,0 +1,258 @@
+//! `isrec` — command-line interface to the ISRec reproduction.
+//!
+//! ```text
+//! isrec generate --world beauty --out data/beauty [--scale 1.0] [--seed 42]
+//! isrec import   --interactions log.tsv --out data/mine [--name mine]
+//! isrec stats    --data data/beauty
+//! isrec train    --data data/beauty --snapshot model.bin [--epochs 12]
+//!                [--lr 0.005] [--max-len 20] [--seed 42]
+//! isrec eval     --data data/beauty --snapshot model.bin [--max-users 250]
+//! isrec explain  --data data/beauty --snapshot model.bin [--user 0] [--top 5]
+//! ```
+//!
+//! `import` accepts `user,item,timestamp` (comma or tab separated) logs —
+//! the path for running the model on *real* datasets.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use isrec_suite::data::stats::{
+    concept_stats, dataset_stats, render_concept_table, render_dataset_table,
+};
+use isrec_suite::data::{io as dio, IntentWorld, LeaveOneOut, WorldConfig};
+use isrec_suite::eval::{EvalProtocol, ProtocolConfig};
+use isrec_suite::isrec::{
+    explain, snapshot, Isrec, IsrecConfig, SequentialRecommender, TrainConfig,
+};
+use isrec_suite::nn::Module;
+
+/// Minimal `--flag value` argument parser.
+struct Args {
+    positional: Vec<String>,
+    flags: std::collections::HashMap<String, String>,
+}
+
+impl Args {
+    fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut flags = std::collections::HashMap::new();
+        let mut iter = std::env::args().skip(1).peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value = iter.next().unwrap_or_default();
+                flags.insert(name.to_string(), value);
+            } else {
+                positional.push(arg);
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(|s| s.as_str())
+    }
+
+    fn require(&self, name: &str) -> Result<&str, String> {
+        self.get(name)
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|e| format!("--{name}: {e}")),
+        }
+    }
+}
+
+fn world_by_name(name: &str) -> Result<WorldConfig, String> {
+    Ok(match name {
+        "beauty" => WorldConfig::beauty_like(),
+        "steam" => WorldConfig::steam_like(),
+        "epinions" => WorldConfig::epinions_like(),
+        "ml1m" => WorldConfig::ml1m_like(),
+        "ml20m" => WorldConfig::ml20m_like(),
+        other => {
+            return Err(format!(
+                "unknown world `{other}` (beauty|steam|epinions|ml1m|ml20m)"
+            ))
+        }
+    })
+}
+
+fn load(args: &Args) -> Result<isrec_suite::data::SequentialDataset, String> {
+    dio::load_dataset(&PathBuf::from(args.require("data")?))
+}
+
+fn build_model(ds: &isrec_suite::data::SequentialDataset, args: &Args) -> Result<Isrec, String> {
+    let cfg = IsrecConfig {
+        max_len: args.num("max-len", 20usize)?,
+        d: args.num("dim", 32usize)?,
+        d_prime: args.num("d-prime", 8usize)?,
+        lambda: args.num("lambda", 10usize)?,
+        ..Default::default()
+    };
+    Ok(Isrec::new(ds, cfg, args.num("seed", 7u64)?))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let world = world_by_name(args.require("world")?)?;
+    let scale: f64 = args.num("scale", 1.0)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let out = PathBuf::from(args.require("out")?);
+    let ds = IntentWorld::new(world.scaled(scale)).generate(seed);
+    dio::save_dataset(&ds, &out)?;
+    println!(
+        "wrote `{}` to {out:?}: {} users, {} items, {} interactions, {} concepts",
+        ds.name,
+        ds.num_users(),
+        ds.num_items,
+        ds.num_interactions(),
+        ds.num_concepts()
+    );
+    Ok(())
+}
+
+fn cmd_import(args: &Args) -> Result<(), String> {
+    let path = PathBuf::from(args.require("interactions")?);
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path:?}: {e}"))?;
+    let records = dio::parse_interactions(&text)?;
+    let (sequences, num_items) = dio::sequences_from_interactions(&records);
+    let core = isrec_suite::data::preprocess::five_core(&sequences, num_items, 5);
+    let ds = isrec_suite::data::SequentialDataset {
+        name: args.get("name").unwrap_or("imported").to_string(),
+        domain: isrec_suite::graph::lexicon::Domain::Consumer,
+        num_items: core.num_items,
+        item_concepts: vec![Vec::new(); core.num_items],
+        sequences: core.sequences,
+        concept_graph: isrec_suite::graph::ConceptGraph::empty(0),
+        concept_names: Vec::new(),
+    };
+    ds.validate()?;
+    let out = PathBuf::from(args.require("out")?);
+    dio::save_dataset(&ds, &out)?;
+    println!(
+        "imported {} records → {} users / {} items after 5-core; wrote {out:?}\n\
+         note: no item descriptions provided, so the concept set is empty —\n\
+         ISRec will run with intent modules effectively disabled.",
+        records.len(),
+        ds.num_users(),
+        ds.num_items
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    println!("{}", render_dataset_table(&[dataset_stats(&ds)]));
+    println!("{}", render_concept_table(&[concept_stats(&ds)]));
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let split = LeaveOneOut::split(&ds.sequences);
+    let mut model = build_model(&ds, args)?;
+    let train = TrainConfig {
+        epochs: args.num("epochs", 12usize)?,
+        lr: args.num("lr", 5e-3f32)?,
+        batch_size: args.num("batch-size", 64usize)?,
+        seed: args.num("seed", 42u64)?,
+        verbose: true,
+        ..Default::default()
+    };
+    let report = model.fit(&ds, &split, &train);
+    println!(
+        "trained {} epochs: loss {:.4} → {:.4}",
+        report.epoch_losses.len(),
+        report.epoch_losses.first().copied().unwrap_or(0.0),
+        report.epoch_losses.last().copied().unwrap_or(0.0)
+    );
+    let snap_path = PathBuf::from(args.require("snapshot")?);
+    std::fs::write(&snap_path, snapshot::save(&model.params()))
+        .map_err(|e| format!("write snapshot: {e}"))?;
+    println!(
+        "snapshot written to {snap_path:?} ({} params)",
+        model.num_parameters()
+    );
+    Ok(())
+}
+
+fn restore_model(args: &Args, ds: &isrec_suite::data::SequentialDataset) -> Result<Isrec, String> {
+    let model = build_model(ds, args)?;
+    let snap_path = PathBuf::from(args.require("snapshot")?);
+    let bytes = std::fs::read(&snap_path).map_err(|e| format!("read snapshot: {e}"))?;
+    let restored = snapshot::load(&model.params(), bytes.into())?;
+    if restored == 0 {
+        return Err("snapshot restored 0 parameters — wrong file or config?".into());
+    }
+    Ok(model)
+}
+
+fn cmd_eval(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let split = LeaveOneOut::split(&ds.sequences);
+    let model = restore_model(args, &ds)?;
+    let proto = EvalProtocol::build(
+        &ds,
+        &split,
+        &ProtocolConfig {
+            max_users: args.num("max-users", 250usize)?,
+            ..Default::default()
+        },
+    );
+    let m = proto.evaluate(&model);
+    println!(
+        "evaluated {} users (leave-one-out, 100 negatives):",
+        proto.len()
+    );
+    for (name, value) in m.named() {
+        println!("  {name:<8} {value:.4}");
+    }
+    Ok(())
+}
+
+fn cmd_explain(args: &Args) -> Result<(), String> {
+    let ds = load(args)?;
+    let split = LeaveOneOut::split(&ds.sequences);
+    let model = restore_model(args, &ds)?;
+    let user: usize = args.num("user", split.test_users().first().copied().unwrap_or(0))?;
+    let top: usize = args.num("top", 5usize)?;
+    let history = split.test_history(user);
+    if history.is_empty() {
+        return Err(format!("user {user} has no history"));
+    }
+    let trace = explain::explain(&model, &ds, &history, top);
+    print!("{}", explain::render_trace(&trace, &ds));
+    Ok(())
+}
+
+const USAGE: &str = "usage: isrec <generate|import|stats|train|eval|explain> [--flag value]…
+run with a subcommand; see the module docs at the top of src/bin/isrec.rs";
+
+fn main() -> ExitCode {
+    let args = Args::parse();
+    let Some(cmd) = args.positional.first().map(|s| s.as_str()) else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd {
+        "generate" => cmd_generate(&args),
+        "import" => cmd_import(&args),
+        "stats" => cmd_stats(&args),
+        "train" => cmd_train(&args),
+        "eval" => cmd_eval(&args),
+        "explain" => cmd_explain(&args),
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the ISRec reproduction workspace.
+//!
+//! Re-exports the public crates so root-level examples and integration tests
+//! can use a single dependency. See `DESIGN.md` for the system inventory.
+
+pub use isrec_core as isrec;
+pub use ist_autograd as autograd;
+pub use ist_baselines as baselines;
+pub use ist_data as data;
+pub use ist_eval as eval;
+pub use ist_graph as graph;
+pub use ist_nn as nn;
+pub use ist_tensor as tensor;

@@ -1,0 +1,112 @@
+//! Property-based integration tests over the data pipeline and protocol
+//! (proptest): invariants that must hold for *any* generated world.
+
+use isrec_suite::data::preprocess::five_core;
+use isrec_suite::data::sampling::SeqBatcher;
+use isrec_suite::data::{IntentWorld, LeaveOneOut, WorldConfig};
+use isrec_suite::eval::{EvalProtocol, ProtocolConfig};
+use proptest::prelude::*;
+
+fn arbitrary_world() -> impl Strategy<Value = (u64, f64)> {
+    (
+        0u64..500,
+        prop_oneof![Just(0.08f64), Just(0.12), Just(0.16)],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    #[test]
+    fn generated_worlds_satisfy_all_invariants((seed, scale) in arbitrary_world()) {
+        let ds = IntentWorld::new(WorldConfig::beauty_like().scaled(scale)).generate(seed);
+        prop_assert!(ds.validate().is_ok(), "{:?}", ds.validate());
+        // 5-core holds.
+        for seq in &ds.sequences {
+            prop_assert!(seq.len() >= 5);
+        }
+        for (it, &count) in ds.item_popularity().iter().enumerate() {
+            prop_assert!(count >= 5, "item {it} has {count} < 5 interactions");
+        }
+        // Concept graph matches the concept vocabulary.
+        prop_assert_eq!(ds.concept_graph.num_nodes(), ds.num_concepts());
+    }
+
+    #[test]
+    fn split_partitions_every_sequence((seed, scale) in arbitrary_world()) {
+        let ds = IntentWorld::new(WorldConfig::steam_like().scaled(scale)).generate(seed);
+        let split = LeaveOneOut::split(&ds.sequences);
+        for (u, seq) in ds.sequences.iter().enumerate() {
+            let mut rebuilt = split.train[u].clone();
+            rebuilt.extend(split.valid[u]);
+            rebuilt.extend(split.test[u]);
+            prop_assert_eq!(&rebuilt, seq, "user {} not partitioned", u);
+        }
+    }
+
+    #[test]
+    fn batches_only_contain_real_transitions((seed, scale) in arbitrary_world()) {
+        let ds = IntentWorld::new(WorldConfig::epinions_like().scaled(scale)).generate(seed);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let pad = ds.num_items;
+        let batcher = SeqBatcher::new(12, 16, pad);
+        let users: Vec<usize> = (0..ds.num_users()).collect();
+        for batch in batcher.batches(&split.train, &users) {
+            for i in 0..batch.inputs.len() {
+                if batch.weights[i] > 0.0 {
+                    prop_assert!(batch.inputs[i] < pad);
+                    prop_assert!(batch.targets[i] < pad);
+                    prop_assert!(!batch.pad[i]);
+                } else {
+                    prop_assert!(batch.pad[i] || batch.targets[i] == pad);
+                }
+            }
+            // Every real (input → target) pair is an actual adjacency in
+            // some training sequence.
+            for (bi, &u) in batch.users.iter().enumerate() {
+                let seq = &split.train[u];
+                for t in 0..batch.len {
+                    let i = bi * batch.len + t;
+                    if batch.weights[i] > 0.0 {
+                        let found = seq.windows(2).any(|w| {
+                            w[0] == batch.inputs[i] && w[1] == batch.targets[i]
+                        });
+                        prop_assert!(found, "fabricated transition");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_tasks_are_valid((seed, scale) in arbitrary_world()) {
+        let ds = IntentWorld::new(WorldConfig::ml1m_like().scaled(scale)).generate(seed);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let proto = EvalProtocol::build(&ds, &split, &ProtocolConfig {
+            max_users: 30, num_negatives: 40, ..Default::default()
+        });
+        for (i, cands) in proto.candidates.iter().enumerate() {
+            // Positive first, all ids in range, no duplicates.
+            prop_assert!(cands[0] < ds.num_items);
+            let set: std::collections::HashSet<_> = cands.iter().collect();
+            prop_assert_eq!(set.len(), cands.len(), "duplicate candidates");
+            // Negatives must avoid everything the user ever interacted
+            // with (the positive itself may recur in the history, since
+            // users can consume an item repeatedly).
+            let seen: std::collections::HashSet<usize> =
+                proto.histories[i].iter().copied().collect();
+            for &neg in &cands[1..] {
+                prop_assert!(!seen.contains(&neg), "negative seen in history");
+            }
+        }
+    }
+
+    #[test]
+    fn five_core_is_idempotent(seed in 0u64..200) {
+        let ds = IntentWorld::new(WorldConfig::beauty_like().scaled(0.1)).generate(seed);
+        let once = five_core(&ds.sequences, ds.num_items, 5);
+        let twice = five_core(&once.sequences, once.num_items, 5);
+        prop_assert_eq!(&once.sequences, &twice.sequences);
+        prop_assert_eq!(once.num_items, twice.num_items);
+    }
+}
