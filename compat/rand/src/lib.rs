@@ -1,0 +1,238 @@
+//! Offline stand-in for the subset of `rand 0.8` this workspace uses.
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64: deterministic,
+//! portable across platforms, and fast. The stream differs from upstream
+//! `rand`'s `StdRng` (ChaCha12) — seeded results are reproducible with this
+//! crate but not bit-identical to runs made against upstream `rand`.
+
+#![forbid(unsafe_code)]
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds the RNG from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `[0, 1)` for floats (the `Standard` distribution
+    /// of upstream `rand`, restricted to the types this workspace draws).
+    fn gen<T: UnitSample>(&mut self) -> T {
+        T::sample_unit(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable uniformly from the unit interval.
+pub trait UnitSample {
+    /// Draws one sample from `[0, 1)`.
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl UnitSample for f32 {
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        // 24 high bits → full f32 mantissa precision in [0, 1).
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl UnitSample for f64 {
+    fn sample_unit<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 high bits → full f64 mantissa precision in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + (rng.next_u64() % span) as i128) as $t
+            }
+        }
+    )*};
+}
+signed_sample_range!(i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let u = <$t as UnitSample>::sample_unit(rng);
+                self.start + (self.end - self.start) * u
+            }
+        }
+    )*};
+}
+float_sample_range!(f32, f64);
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace-wide deterministic generator: xoshiro256++.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod distributions {
+    use super::Rng;
+
+    /// A distribution samplable with any RNG.
+    pub trait Distribution<T> {
+        /// Draws one sample.
+        fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (the only `seq` functionality this workspace uses).
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (RngCore::next_u64(rng) % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<f32> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<f32> = (0..8).map(|_| b.gen()).collect();
+        let zs: Vec<f32> = (0..8).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let f = rng.gen_range(-2.0f32..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn unit_samples_cover_interval() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "samples never reached the interval edges");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -278,8 +278,11 @@ mod tests {
         let ds = cycle_dataset();
         let split = LeaveOneOut::split(&ds.sequences);
         let mut m = Bert4Rec::new(16, 6, 1, 2);
+        // 300 epochs (not fewer): the cloze masking pattern depends on the
+        // RNG stream, and this margin check must hold for any conforming
+        // `StdRng` implementation, so leave convergence headroom.
         let cfg = TrainConfig {
-            epochs: 150,
+            epochs: 300,
             lr: 0.02,
             batch_size: 8,
             ..TrainConfig::smoke()

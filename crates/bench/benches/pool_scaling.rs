@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the persistent worker pool: GEMM throughput at
+//! explicit pool sizes (via `matmul_in`), pool dispatch overhead, and the
+//! parallel elementwise path. Complements the `bench_gemm` binary, which
+//! emits machine-readable GFLOP/s numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use ist_tensor::pool::ThreadPool;
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::{matmul, ops};
+
+fn bench_gemm_pool_sizes(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(1);
+    let a = uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let b = uniform(&[256, 256], -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("gemm_256_pool");
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |bch, _| {
+            bch.iter(|| matmul::matmul_in(&pool, black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dispatch_overhead(c: &mut Criterion) {
+    // A GEMM far below the crossover: measures that small ops stay serial
+    // and pay nothing for the pool's existence.
+    let mut rng = SeedRng::seed(2);
+    let a = uniform(&[16, 16], -1.0, 1.0, &mut rng);
+    let b = uniform(&[16, 16], -1.0, 1.0, &mut rng);
+    c.bench_function("gemm_16_below_crossover", |bch| {
+        bch.iter(|| matmul::matmul(black_box(&a), black_box(&b)))
+    });
+    // An empty-ish task set: raw cost of one pool round-trip.
+    let pool = ThreadPool::new(2);
+    c.bench_function("pool_round_trip_2", |bch| {
+        bch.iter(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..2)
+                .map(|_| Box::new(|| {}) as Box<dyn FnOnce() + Send + '_>)
+                .collect();
+            pool.run(tasks)
+        })
+    });
+}
+
+fn bench_elementwise_parallel(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(3);
+    let t = uniform(&[1 << 20], -1.0, 1.0, &mut rng);
+    c.bench_function("sigmoid_1m", |bch| bch.iter(|| ops::sigmoid(black_box(&t))));
+    let u = uniform(&[1 << 20], -1.0, 1.0, &mut rng);
+    c.bench_function("mul_1m", |bch| {
+        bch.iter(|| ops::mul(black_box(&t), black_box(&u)))
+    });
+}
+
+fn bench_bmm_batches(c: &mut Criterion) {
+    let mut rng = SeedRng::seed(4);
+    let a = uniform(&[64, 50, 64], -1.0, 1.0, &mut rng);
+    let b = uniform(&[64, 64, 50], -1.0, 1.0, &mut rng);
+    c.bench_function("bmm_64x50x64", |bch| {
+        bch.iter(|| matmul::bmm(black_box(&a), black_box(&b)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_gemm_pool_sizes,
+    bench_dispatch_overhead,
+    bench_elementwise_parallel,
+    bench_bmm_batches
+);
+criterion_main!(benches);

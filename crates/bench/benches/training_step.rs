@@ -3,7 +3,7 @@
 //! §3.8's per-module analysis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use isrec_core::{SequentialRecommender, TrainConfig};
+use isrec_core::TrainConfig;
 use ist_data::{IntentWorld, LeaveOneOut, WorldConfig};
 use ist_eval::ModelSpec;
 

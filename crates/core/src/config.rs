@@ -1,9 +1,7 @@
 //! Model and training configuration.
 
-use serde::{Deserialize, Serialize};
-
 /// How the intention graph's adjacency enters the GCN transition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdjacencyMode {
     /// The fixed, symmetric-normalised concept graph (the paper's default).
     Fixed,
@@ -16,7 +14,7 @@ pub enum AdjacencyMode {
 }
 
 /// Which parts of the intent pipeline are active (Table 5's ablations).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum IsrecVariant {
     /// The full model.
     Full,
@@ -29,7 +27,7 @@ pub enum IsrecVariant {
 }
 
 /// Hyperparameters of the ISRec model.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IsrecConfig {
     /// Item/concept embedding width `d`.
     pub d: usize,
@@ -101,7 +99,7 @@ impl Default for IsrecConfig {
 }
 
 /// Optimisation settings shared by every model in the workspace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct TrainConfig {
     /// Number of passes over the training users.
     pub epochs: usize,

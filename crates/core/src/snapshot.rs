@@ -103,7 +103,7 @@ mod tests {
         let a = Param::new("a", Tensor::ones(&[2]));
         let snap = save(&[a]);
         let other = Param::new("b", Tensor::zeros(&[2]));
-        let restored = load(&[other.clone()], snap).unwrap();
+        let restored = load(std::slice::from_ref(&other), snap).unwrap();
         assert_eq!(restored, 0);
         assert_eq!(other.value().data(), &[0.0, 0.0]);
     }

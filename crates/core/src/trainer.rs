@@ -17,6 +17,11 @@ use crate::recommender::TrainReport;
 /// `forward` maps a training batch to full-vocabulary logits
 /// (`[batch·len, num_items]`, aligned with the batch's `targets`/`weights`).
 /// The L2 term of Eq. (14) is applied as weight decay inside Adam.
+///
+/// Threading: batch assembly and the tensor ops inside `forward`/backward
+/// fan out over the shared worker pool, but the epoch shuffle RNG and the
+/// optimizer step stay on this thread — gradients are applied in a fixed
+/// order, so same-seed runs produce identical losses at any `IST_THREADS`.
 pub fn train_next_item<F>(
     split: &LeaveOneOut,
     batcher: &SeqBatcher,
@@ -125,10 +130,10 @@ mod tests {
         );
 
         // And the prediction is right: after seeing item 1, predict 2.
-        let mut ctx = Ctx::eval();
+        let ctx = Ctx::eval();
         let batch = batcher.inference_batch(&[&[0usize, 1][..]]);
-        let e = toy.table.forward(&mut ctx, &batch.inputs);
-        let logits = toy.out.forward(&mut ctx, &e);
+        let e = toy.table.forward(&ctx, &batch.inputs);
+        let logits = toy.out.forward(&ctx, &e);
         let last_row = logits.value();
         let row = &last_row.data()[(batch.len - 1) * vocab..batch.len * vocab];
         let argmax = row

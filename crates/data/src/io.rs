@@ -205,10 +205,7 @@ pub fn parse_interactions(text: &str) -> Result<Vec<Interaction>, String> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = line
-            .split(|c| c == '\t' || c == ',')
-            .map(|f| f.trim())
-            .collect();
+        let fields: Vec<&str> = line.split(['\t', ',']).map(|f| f.trim()).collect();
         if fields.len() < 3 {
             return Err(format!("line {}: need user,item,timestamp", lineno + 1));
         }

@@ -2,6 +2,7 @@
 
 use std::collections::HashSet;
 
+use ist_tensor::pool;
 use ist_tensor::rng::SeedRng;
 use rand::Rng;
 
@@ -120,16 +121,29 @@ impl SeqBatcher {
 
     /// Splits `user_ids` into batches over `sequences` (skipping sequences
     /// with fewer than 2 items, which admit no transition).
+    ///
+    /// Batch assembly is RNG-free, so it is dealt to the shared worker pool
+    /// for large epochs: each batch is built by exactly one task and the
+    /// results come back in order, making the output identical for every
+    /// pool size (the epoch shuffle that produced `user_ids` stays with the
+    /// caller, on the main thread).
     pub fn batches(&self, sequences: &[Vec<usize>], user_ids: &[usize]) -> Vec<SeqBatch> {
         let usable: Vec<usize> = user_ids
             .iter()
             .copied()
             .filter(|&u| sequences[u].len() >= 2)
             .collect();
-        usable
-            .chunks(self.batch_size)
-            .map(|chunk| self.build(sequences, chunk))
-            .collect()
+        // Work ≈ max_len items copied per usable user.
+        if pool::should_parallelize(usable.len() * self.max_len, pool::elem_grain()) {
+            pool::parallel_map_chunks(&usable, self.batch_size, |chunk| {
+                self.build(sequences, chunk)
+            })
+        } else {
+            usable
+                .chunks(self.batch_size)
+                .map(|chunk| self.build(sequences, chunk))
+                .collect()
+        }
     }
 
     fn build(&self, sequences: &[Vec<usize>], users: &[usize]) -> SeqBatch {

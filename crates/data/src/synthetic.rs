@@ -351,7 +351,7 @@ impl IntentWorld {
 /// Clustered item concepts: a centre concept plus neighbours/2-hop picks.
 fn sample_item_concepts(g: &ConceptGraph, mean: f64, rng: &mut SeedRng) -> Vec<usize> {
     let k = g.num_nodes();
-    let count = ((mean + rng.gen_range(-1.0..1.0)).round() as i64).max(1) as usize;
+    let count = ((mean + rng.gen_range(-1.0f64..1.0)).round() as i64).max(1) as usize;
     let count = count.min(k);
     let center = rng.gen_range(0..k);
     let mut chosen = vec![center];

@@ -1,9 +1,13 @@
 //! Experiment runner: trains a model on a world and evaluates it under the
-//! shared protocol; fans whole (dataset × model) grids out over threads.
+//! shared protocol; fans whole (dataset × model) grids out over the shared
+//! persistent worker pool (`ist_tensor::pool`) — no threads are spawned
+//! per suite.
+
+use std::sync::Mutex;
 
 use isrec_core::TrainConfig;
 use ist_data::{LeaveOneOut, SequentialDataset};
-use parking_lot::Mutex;
+use ist_tensor::pool;
 
 use crate::metrics::MetricSet;
 use crate::models::ModelSpec;
@@ -62,24 +66,28 @@ pub fn run_suite(
     let protocol = EvalProtocol::build(dataset, &split, protocol_cfg);
 
     let results: Mutex<Vec<(usize, CellResult)>> = Mutex::new(Vec::with_capacity(specs.len()));
-    let next: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     let workers = threads.max(1).min(specs.len().max(1));
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let idx = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if idx >= specs.len() {
-                    break;
+    // Deal the grid cells round-robin into `workers` stripes and run the
+    // stripes on the persistent pool. Each stripe owns its models end to
+    // end, so nothing `!Send` crosses a thread boundary.
+    let split_ref = &split;
+    let protocol_ref = &protocol;
+    let results_ref = &results;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
+        .map(|w| {
+            Box::new(move || {
+                for idx in (w..specs.len()).step_by(workers) {
+                    let cell =
+                        run_model(specs[idx], dataset, split_ref, protocol_ref, train, max_len);
+                    results_ref.lock().unwrap().push((idx, cell));
                 }
-                let cell = run_model(specs[idx], dataset, &split, &protocol, train, max_len);
-                results.lock().push((idx, cell));
-            });
-        }
-    })
-    .expect("experiment worker panicked");
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool::global().run(tasks);
 
-    let mut out = results.into_inner();
+    let mut out = results.into_inner().unwrap();
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, c)| c).collect()
 }

@@ -1,12 +1,10 @@
 //! Undirected concept graph with CSR-like adjacency lists.
 
-use serde::{Deserialize, Serialize};
-
 /// An undirected simple graph over `n` concept nodes.
 ///
 /// Invariants: adjacency lists are sorted, deduplicated, loop-free, and
 /// symmetric (`j ∈ adj[i] ⇔ i ∈ adj[j]`).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConceptGraph {
     n: usize,
     adj: Vec<Vec<usize>>,

@@ -7,6 +7,7 @@
 //! Σ_h head_h·Wo_h`), avoiding 4-D permutes entirely.
 
 use ist_autograd::{fused, ops, Param, Var};
+use ist_tensor::pool;
 use ist_tensor::rng::SeedRng;
 use ist_tensor::Tensor;
 
@@ -28,15 +29,26 @@ const NEG_INF: f32 = -1e9;
 pub fn attention_mask(batch: usize, len: usize, pad: &[bool], causal: bool) -> Tensor {
     assert_eq!(pad.len(), batch * len);
     let mut m = vec![0.0f32; batch * len * len];
-    for b in 0..batch {
-        for q in 0..len {
-            for k in 0..len {
-                let blocked = (causal && k > q) || pad[b * len + k];
-                if blocked {
-                    m[(b * len + q) * len + k] = NEG_INF;
+    let fill = |b0: usize, chunk: &mut [f32]| {
+        for (i, sq) in chunk.chunks_mut(len * len).enumerate() {
+            let b = b0 + i;
+            for q in 0..len {
+                for k in 0..len {
+                    let blocked = (causal && k > q) || pad[b * len + k];
+                    if blocked {
+                        sq[q * len + k] = NEG_INF;
+                    }
                 }
             }
         }
+    };
+    // One pool task per batch-block; each sequence's mask square is written
+    // by exactly one task, so the pool size never changes the result.
+    if pool::should_parallelize(m.len(), pool::elem_grain()) && batch > 1 {
+        let per = batch.div_ceil(pool::global().threads()).max(1);
+        pool::parallel_chunks_mut(&mut m, per * len * len, |ci, chunk| fill(ci * per, chunk));
+    } else {
+        fill(0, &mut m);
     }
     Tensor::from_vec(m, &[batch, len, len])
 }
@@ -280,7 +292,7 @@ mod tests {
         let d = 8;
         let attn = MultiHeadSelfAttention::new("a", d, 1, &mut rng);
         let (b, t) = (1, 3);
-        let mask = attention_mask(b, t, &vec![false; 3], false);
+        let mask = attention_mask(b, t, &[false; 3], false);
         let mut rng2 = SeedRng::seed(4);
         let x0 = uniform(&[t, d], -1.0, 1.0, &mut rng2);
         let mut x1 = x0.clone();

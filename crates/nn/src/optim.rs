@@ -231,7 +231,7 @@ mod tests {
     fn clip_reduces_large_gradients() {
         let p = Param::new("w", Tensor::from_vec(vec![0.0, 0.0], &[2]));
         p.accumulate_grad(&Tensor::from_vec(vec![30.0, 40.0], &[2])); // norm 50
-        let pre = clip_grad_norm(&[p.clone()], 5.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&p), 5.0);
         assert!((pre - 50.0).abs() < 1e-4);
         assert!((p.grad().norm2() - 5.0).abs() < 1e-4);
         // Direction preserved.

@@ -10,16 +10,23 @@
 //!
 //! * shape algebra and NumPy-style broadcasting ([`shape`]),
 //! * element-wise arithmetic and transcendental maps ([`ops`]),
-//! * 2-D matrix multiplication (optionally parallelised with crossbeam
-//!   scoped threads) and batched 3-D `bmm` ([`matmul`]),
+//! * cache-blocked 2-D matrix multiplication and batched 3-D `bmm`,
+//!   parallelised over a shared persistent worker pool ([`matmul`], [`pool`]),
 //! * reductions, softmax/log-softmax, norms and argmax ([`reduce`]),
 //! * row gather/scatter used for embedding lookups ([`tensor`]),
 //! * seeded random constructors ([`rng`]).
+//!
+//! Threading is controlled by the `IST_THREADS` environment variable (see
+//! [`pool`]); all parallel paths produce results bitwise identical to their
+//! serial counterparts.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: `pool` carries one audited `unsafe` block
+// (see the SAFETY comment there) behind a module-level allow.
+#![deny(unsafe_code)]
 
 pub mod matmul;
 pub mod ops;
+pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod shape;

@@ -1,20 +1,41 @@
-//! Matrix multiplication: 2-D GEMM (with an optional crossbeam-parallel
-//! outer loop), matrix–vector products, and batched 3-D `bmm`.
+//! Matrix multiplication: cache-blocked 2-D GEMM parallelised over the
+//! shared worker pool, matrix–vector products, and batched 3-D `bmm`.
 //!
-//! The kernel uses the classic `i-k-j` loop order so the innermost loop
-//! streams contiguously over both the output row and the `b` row, which LLVM
-//! auto-vectorises well. No unsafe, no blocking — at the matrix sizes used
-//! by this workspace (≤ a few thousand on a side) this is within a small
-//! factor of a tuned BLAS and completely predictable.
+//! The production kernel ([`gemm_blocked`]) tiles over N (`NC` columns) and
+//! K (`KC` rows of `b`), packing each `b` panel into a contiguous buffer so
+//! the innermost loops stream over cache-resident memory, and processes
+//! four rows of `a` per pass (a packed-B micro-kernel LLVM auto-vectorises).
+//! All-zero rows of `a` — padded sequence positions, which are common in
+//! this workload — are detected once and skipped. The unblocked `i-k-j`
+//! kernel ([`gemm_serial`]) is kept as the reference implementation for
+//! tests and benchmarks.
+//!
+//! Parallelism: row blocks of the output are dealt to the persistent pool
+//! ([`crate::pool`]); no threads are spawned per call. Every output element
+//! is computed by exactly one task with a fixed k-accumulation order, so
+//! results are bitwise identical for every pool size. The serial/parallel
+//! crossover is derived from the pool size and the tunable per-worker grain
+//! ([`crate::pool::gemm_grain`]) instead of a hard-coded FLOP constant.
 
+use crate::pool;
 use crate::Tensor;
 
-/// Above this many multiply-adds the 2-D GEMM shards its output rows across
-/// scoped threads.
-const PARALLEL_FLOPS_THRESHOLD: usize = 1 << 21;
+/// Columns of `b` packed per panel (`NC · KC` floats ≈ 64 KiB, L2-resident).
+const NC: usize = 64;
+/// Rows of `b` (depth) packed per panel.
+const KC: usize = 256;
+/// Rows of `a` processed per micro-kernel pass.
+const MR: usize = 4;
+/// Output columns per register tile: the `MR × NR` accumulator lives in
+/// locals for the whole `kc` depth, so `out` is touched once per panel
+/// instead of once per depth step.
+const NR: usize = 16;
 
-/// Serial `i-k-j` GEMM kernel: `out[m×n] += a[m×k] · b[k×n]` over raw slices.
-fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// Reference serial `i-k-j` GEMM kernel: `out[m×n] += a[m×k] · b[k×n]`.
+///
+/// Unblocked; kept for correctness comparisons and as the baseline side of
+/// the `bench_gemm` binary.
+pub fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -33,11 +54,158 @@ fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usi
     }
 }
 
-/// `a[m×k] · b[k×n] → [m×n]`.
+/// Cache-blocked GEMM kernel: `out[m×n] += a[m×k] · b[k×n]`.
 ///
-/// Parallelises over row blocks with crossbeam scoped threads when the
-/// problem is large enough to amortise thread startup.
+/// The k-accumulation order for each output element is `kk` ascending, the
+/// same as [`gemm_serial`], so blocked and unblocked kernels agree to
+/// floating-point rounding (≤ 1e-4 relative at this workspace's scales).
+pub fn gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+
+    // Padded sequence positions show up as all-zero rows of `a`; find them
+    // once (an O(m·k) scan against O(m·n·k) work) and skip them everywhere.
+    let row_zero: Vec<bool> = (0..m)
+        .map(|i| a[i * k..(i + 1) * k].iter().all(|&v| v == 0.0))
+        .collect();
+
+    // Panel layout: `nblocks` NR-wide column blocks, each stored as
+    // `[p][NR]` (depth-major), then one `tail`-wide block as `[p][tail]`.
+    // The micro-kernel then streams each block contiguously.
+    let mut panel = [0.0f32; NC * KC];
+    for jj in (0..n).step_by(NC) {
+        let nc = NC.min(n - jj);
+        let nblocks = nc / NR;
+        let tail = nc % NR;
+        for kk in (0..k).step_by(KC) {
+            let kc = KC.min(k - kk);
+            for jb in 0..nblocks {
+                let dst = &mut panel[jb * kc * NR..(jb + 1) * kc * NR];
+                for p in 0..kc {
+                    let col = (kk + p) * n + jj + jb * NR;
+                    dst[p * NR..(p + 1) * NR].copy_from_slice(&b[col..col + NR]);
+                }
+            }
+            if tail > 0 {
+                let dst = &mut panel[nblocks * kc * NR..];
+                for p in 0..kc {
+                    let col = (kk + p) * n + jj + nblocks * NR;
+                    dst[p * tail..(p + 1) * tail].copy_from_slice(&b[col..col + tail]);
+                }
+            }
+
+            let mut i = 0;
+            // Micro-kernel: an MR×NR accumulator tile held in locals across
+            // the whole depth, flushed to `out` once per panel.
+            while i + MR <= m {
+                if row_zero[i..i + MR].iter().all(|&z| z) {
+                    i += MR;
+                    continue;
+                }
+                let a0 = &a[i * k + kk..i * k + kk + kc];
+                let a1 = &a[(i + 1) * k + kk..(i + 1) * k + kk + kc];
+                let a2 = &a[(i + 2) * k + kk..(i + 2) * k + kk + kc];
+                let a3 = &a[(i + 3) * k + kk..(i + 3) * k + kk + kc];
+                for jb in 0..nblocks {
+                    let blk = &panel[jb * kc * NR..(jb + 1) * kc * NR];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for p in 0..kc {
+                        let bv: &[f32; NR] = blk[p * NR..(p + 1) * NR].try_into().unwrap();
+                        let xs = [a0[p], a1[p], a2[p], a3[p]];
+                        for (accr, x) in acc.iter_mut().zip(xs) {
+                            for (s, &bvj) in accr.iter_mut().zip(bv) {
+                                *s += x * bvj;
+                            }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        let o = (i + r) * n + jj + jb * NR;
+                        for (slot, &s) in out[o..o + NR].iter_mut().zip(accr) {
+                            *slot += s;
+                        }
+                    }
+                }
+                if tail > 0 {
+                    let blk = &panel[nblocks * kc * NR..nblocks * kc * NR + kc * tail];
+                    let mut acc = [[0.0f32; NR]; MR];
+                    for p in 0..kc {
+                        let bv = &blk[p * tail..(p + 1) * tail];
+                        let xs = [a0[p], a1[p], a2[p], a3[p]];
+                        for (accr, x) in acc.iter_mut().zip(xs) {
+                            for (s, &bvj) in accr[..tail].iter_mut().zip(bv) {
+                                *s += x * bvj;
+                            }
+                        }
+                    }
+                    for (r, accr) in acc.iter().enumerate() {
+                        let o = (i + r) * n + jj + nblocks * NR;
+                        for (slot, &s) in out[o..o + tail].iter_mut().zip(&accr[..tail]) {
+                            *slot += s;
+                        }
+                    }
+                }
+                i += MR;
+            }
+            // Remainder rows, one at a time with the per-element zero skip.
+            while i < m {
+                if row_zero[i] {
+                    i += 1;
+                    continue;
+                }
+                let a_row = &a[i * k + kk..i * k + kk + kc];
+                for jb in 0..nblocks {
+                    let blk = &panel[jb * kc * NR..(jb + 1) * kc * NR];
+                    let mut acc = [0.0f32; NR];
+                    for (p, &x) in a_row.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let bv: &[f32; NR] = blk[p * NR..(p + 1) * NR].try_into().unwrap();
+                        for (s, &bvj) in acc.iter_mut().zip(bv) {
+                            *s += x * bvj;
+                        }
+                    }
+                    let o = i * n + jj + jb * NR;
+                    for (slot, &s) in out[o..o + NR].iter_mut().zip(&acc) {
+                        *slot += s;
+                    }
+                }
+                if tail > 0 {
+                    let blk = &panel[nblocks * kc * NR..nblocks * kc * NR + kc * tail];
+                    let mut acc = [0.0f32; NR];
+                    for (p, &x) in a_row.iter().enumerate() {
+                        if x == 0.0 {
+                            continue;
+                        }
+                        let bv = &blk[p * tail..(p + 1) * tail];
+                        for (s, &bvj) in acc[..tail].iter_mut().zip(bv) {
+                            *s += x * bvj;
+                        }
+                    }
+                    let o = i * n + jj + nblocks * NR;
+                    for (slot, &s) in out[o..o + tail].iter_mut().zip(&acc[..tail]) {
+                        *slot += s;
+                    }
+                }
+                i += 1;
+            }
+        }
+    }
+}
+
+/// `a[m×k] · b[k×n] → [m×n]` on the global pool.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    matmul_in(pool::global(), a, b)
+}
+
+/// `a[m×k] · b[k×n] → [m×n]` on an explicit pool (benchmarks measure
+/// scaling by passing pools of different sizes; everything else uses
+/// [`matmul`]).
+pub fn matmul_in(pool: &pool::ThreadPool, a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
     assert_eq!(b.rank(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
     let (m, k) = (a.shape()[0], a.shape()[1]);
@@ -52,45 +220,60 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
 
     let mut out = vec![0.0f32; m * n];
     let flops = m * n * k;
-    let threads = available_threads();
-    if flops < PARALLEL_FLOPS_THRESHOLD || threads <= 1 || m < 2 * threads {
-        gemm_serial(a.data(), b.data(), &mut out, m, k, n);
+    let threads = pool.threads();
+    let parallel = threads > 1 && flops >= pool::gemm_grain().saturating_mul(threads) && m >= 2;
+    if !parallel {
+        gemm_blocked(a.data(), b.data(), &mut out, m, k, n);
         return Tensor::from_vec(out, &[m, n]);
     }
 
-    let rows_per = m.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let a_data = a.data();
-        let b_data = b.data();
-        for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+    let rows_per = m.div_ceil(threads).max(1);
+    let a_data = a.data();
+    let b_data = b.data();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(chunk_idx, out_chunk)| {
             let row0 = chunk_idx * rows_per;
             let rows = out_chunk.len() / n;
             let a_block = &a_data[row0 * k..(row0 + rows) * k];
-            scope.spawn(move |_| {
-                gemm_serial(a_block, b_data, out_chunk, rows, k, n);
-            });
-        }
-    })
-    .expect("matmul worker panicked");
+            Box::new(move || {
+                gemm_blocked(a_block, b_data, out_chunk, rows, k, n);
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(tasks);
     Tensor::from_vec(out, &[m, n])
 }
 
-/// `a[m×k] · x[k] → [m]`.
-#[allow(clippy::needless_range_loop)] // indexed kernels read clearer here
+/// `a[m×k] · x[k] → [m]`, row blocks dealt to the pool for large inputs.
 pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 2);
     assert_eq!(x.rank(), 1);
     let (m, k) = (a.shape()[0], a.shape()[1]);
     assert_eq!(k, x.shape()[0]);
     let mut out = vec![0.0f32; m];
-    for i in 0..m {
-        let row = &a.data()[i * k..(i + 1) * k];
-        out[i] = row.iter().zip(x.data()).map(|(&p, &q)| p * q).sum();
+    let a_data = a.data();
+    let x_data = x.data();
+    let dot_rows = |row0: usize, out_chunk: &mut [f32]| {
+        for (i, slot) in out_chunk.iter_mut().enumerate() {
+            let row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
+            *slot = row.iter().zip(x_data).map(|(&p, &q)| p * q).sum();
+        }
+    };
+    if pool::should_parallelize(m * k, pool::gemm_grain()) {
+        let rows_per = m.div_ceil(pool::global().threads()).max(1);
+        pool::parallel_chunks_mut(&mut out, rows_per, |chunk_idx, out_chunk| {
+            dot_rows(chunk_idx * rows_per, out_chunk);
+        });
+    } else {
+        dot_rows(0, &mut out);
     }
     Tensor::from_vec(out, &[m])
 }
 
-/// Batched matmul: `a[B×m×k] · b[B×k×n] → [B×m×n]`.
+/// Batched matmul: `a[B×m×k] · b[B×k×n] → [B×m×n]`, batch blocks dealt to
+/// the pool.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(a.rank(), 3, "bmm lhs must be 3-D, got {:?}", a.shape());
     assert_eq!(b.rank(), 3, "bmm rhs must be 3-D, got {:?}", b.shape());
@@ -100,53 +283,42 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "bmm inner dims disagree");
 
     let mut out = vec![0.0f32; ba * m * n];
-    let threads = available_threads();
-    if ba * m * n * k < PARALLEL_FLOPS_THRESHOLD || threads <= 1 || ba == 1 {
-        for bi in 0..ba {
-            gemm_serial(
-                &a.data()[bi * m * k..(bi + 1) * m * k],
-                &b.data()[bi * k * n..(bi + 1) * k * n],
-                &mut out[bi * m * n..(bi + 1) * m * n],
+    let pool = pool::global();
+    let threads = pool.threads();
+    let flops = ba * m * n * k;
+    let a_data = a.data();
+    let b_data = b.data();
+    let run_batches = |b0: usize, out_chunk: &mut [f32]| {
+        for (j, o) in out_chunk.chunks_mut(m * n).enumerate() {
+            let bi = b0 + j;
+            gemm_blocked(
+                &a_data[bi * m * k..(bi + 1) * m * k],
+                &b_data[bi * k * n..(bi + 1) * k * n],
+                o,
                 m,
                 k,
                 n,
             );
         }
+    };
+    let parallel = threads > 1 && ba > 1 && flops >= pool::gemm_grain().saturating_mul(threads);
+    if !parallel {
+        run_batches(0, &mut out);
         return Tensor::from_vec(out, &[ba, m, n]);
     }
 
-    let batches_per = ba.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        let a_data = a.data();
-        let b_data = b.data();
-        for (chunk_idx, out_chunk) in out.chunks_mut(batches_per * m * n).enumerate() {
-            let b0 = chunk_idx * batches_per;
-            let nb = out_chunk.len() / (m * n);
-            scope.spawn(move |_| {
-                for (j, o) in out_chunk.chunks_mut(m * n).enumerate() {
-                    let bi = b0 + j;
-                    let _ = nb;
-                    gemm_serial(
-                        &a_data[bi * m * k..(bi + 1) * m * k],
-                        &b_data[bi * k * n..(bi + 1) * k * n],
-                        o,
-                        m,
-                        k,
-                        n,
-                    );
-                }
-            });
-        }
-    })
-    .expect("bmm worker panicked");
+    let batches_per = ba.div_ceil(threads).max(1);
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+        .chunks_mut(batches_per * m * n)
+        .enumerate()
+        .map(|(chunk_idx, out_chunk)| {
+            let run_batches = &run_batches;
+            Box::new(move || run_batches(chunk_idx * batches_per, out_chunk))
+                as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    pool.run(tasks);
     Tensor::from_vec(out, &[ba, m, n])
-}
-
-fn available_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8)
 }
 
 #[cfg(test)]
@@ -187,13 +359,25 @@ mod tests {
     #[test]
     fn parallel_path_matches_serial() {
         let mut rng = SeedRng::seed(3);
-        // Big enough to cross PARALLEL_FLOPS_THRESHOLD.
+        // Big enough to cross the parallel threshold on any pool size.
         let a = uniform(&[256, 128], -1.0, 1.0, &mut rng);
         let b = uniform(&[128, 256], -1.0, 1.0, &mut rng);
         let par = matmul(&a, &b);
         let mut serial = vec![0.0f32; 256 * 256];
         gemm_serial(a.data(), b.data(), &mut serial, 256, 128, 256);
         assert_close(par.data(), &serial, 1e-4);
+    }
+
+    #[test]
+    fn explicit_pools_agree_bitwise_across_sizes() {
+        let mut rng = SeedRng::seed(13);
+        let a = uniform(&[96, 200], -1.0, 1.0, &mut rng);
+        let b = uniform(&[200, 96], -1.0, 1.0, &mut rng);
+        let one = pool::ThreadPool::new(1);
+        let four = pool::ThreadPool::new(4);
+        let c1 = matmul_in(&one, &a, &b);
+        let c4 = matmul_in(&four, &a, &b);
+        assert_eq!(c1.data(), c4.data(), "thread count changed GEMM bits");
     }
 
     #[test]

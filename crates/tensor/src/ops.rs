@@ -1,26 +1,55 @@
 //! Element-wise arithmetic (with broadcasting) and transcendental maps.
+//!
+//! Large maps are dealt to the shared worker pool ([`crate::pool`]) in
+//! contiguous chunks. Every element is computed independently, so the
+//! result is identical for every pool size.
 
+use crate::pool;
 use crate::shape::{broadcast_shapes, broadcast_source_index};
 use crate::Tensor;
 
 /// Applies `f` to every element, producing a new tensor.
-pub fn map(t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
-    let data = t.data().iter().map(|&v| f(v)).collect();
+pub fn map(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
+    let src = t.data();
+    let mut data = vec![0.0f32; src.len()];
+    if pool::should_parallelize(src.len(), pool::elem_grain()) {
+        let chunk = src.len().div_ceil(pool::global().threads()).max(1);
+        pool::parallel_chunks_mut(&mut data, chunk, |ci, out| {
+            let base = ci * chunk;
+            let len = out.len();
+            for (o, &v) in out.iter_mut().zip(&src[base..base + len]) {
+                *o = f(v);
+            }
+        });
+    } else {
+        for (o, &v) in data.iter_mut().zip(src) {
+            *o = f(v);
+        }
+    }
     Tensor::from_vec(data, t.shape())
 }
 
 /// Applies `f(a_i, b_i)` pairwise with NumPy broadcasting.
 ///
 /// Panics when the shapes are not broadcast-compatible.
-pub fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+pub fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Tensor {
     if a.shape() == b.shape() {
         // Hot path: identical shapes need no index arithmetic.
-        let data = a
-            .data()
-            .iter()
-            .zip(b.data().iter())
-            .map(|(&x, &y)| f(x, y))
-            .collect();
+        let (xs, ys) = (a.data(), b.data());
+        let mut data = vec![0.0f32; xs.len()];
+        if pool::should_parallelize(xs.len(), pool::elem_grain()) {
+            let chunk = xs.len().div_ceil(pool::global().threads()).max(1);
+            pool::parallel_chunks_mut(&mut data, chunk, |ci, out| {
+                let base = ci * chunk;
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = f(xs[base + i], ys[base + i]);
+                }
+            });
+        } else {
+            for (i, o) in data.iter_mut().enumerate() {
+                *o = f(xs[i], ys[i]);
+            }
+        }
         return Tensor::from_vec(data, a.shape());
     }
     // Fast paths for the two broadcast patterns every layer hits: a

@@ -2,12 +2,55 @@
 //!
 //! "Last-dim" variants treat a rank-R tensor as a stack of rows of length
 //! `shape[R-1]` — the layout every sequence model in this workspace uses.
+//!
+//! Large reductions run on the shared worker pool ([`crate::pool`]).
+//! Row-wise variants partition over whole rows, and the global [`sum`]
+//! accumulates fixed-size chunk partials combined in order, so every
+//! result is bitwise identical for every pool size.
 
+use crate::pool;
 use crate::Tensor;
 
+/// Fixed partial-sum chunk length for [`sum`]. Independent of the pool
+/// size by design: the serial and parallel paths produce the exact same
+/// sequence of partials, so changing `IST_THREADS` cannot change the sum.
+const SUM_CHUNK: usize = 4096;
+
 /// Sum of all elements.
+///
+/// Always accumulated as in-order partials over [`SUM_CHUNK`]-sized chunks
+/// (whether or not the pool is used), so the result is deterministic
+/// across thread counts.
 pub fn sum(t: &Tensor) -> f32 {
-    t.data().iter().sum()
+    let data = t.data();
+    if pool::should_parallelize(data.len(), pool::elem_grain()) {
+        pool::parallel_map_chunks(data, SUM_CHUNK, |c| c.iter().sum::<f32>())
+            .into_iter()
+            .sum()
+    } else {
+        data.chunks(SUM_CHUNK).map(|c| c.iter().sum::<f32>()).sum()
+    }
+}
+
+/// Runs `fill(first_row, out_rows)` over `out` split into row blocks, on
+/// the pool when the total work is large enough. `row_len` is the output
+/// elements per row. Row-partitioned, so results never depend on the
+/// pool size.
+fn for_row_blocks(
+    out: &mut [f32],
+    row_len: usize,
+    work: usize,
+    fill: impl Fn(usize, &mut [f32]) + Sync,
+) {
+    let rows = out.len() / row_len.max(1);
+    if pool::should_parallelize(work, pool::elem_grain()) && rows > 1 {
+        let rows_per = rows.div_ceil(pool::global().threads()).max(1);
+        pool::parallel_chunks_mut(out, rows_per * row_len, |ci, chunk| {
+            fill(ci * rows_per, chunk);
+        });
+    } else {
+        fill(0, out);
+    }
 }
 
 /// Mean of all elements (0 for empty tensors).
@@ -36,10 +79,14 @@ fn rows_of(t: &Tensor) -> (usize, usize) {
 /// tensor with the leading shape preserved).
 pub fn sum_lastdim(t: &Tensor) -> Tensor {
     let (rows, n) = rows_of(t);
+    let data = t.data();
     let mut out = vec![0.0f32; rows];
-    for (r, slot) in out.iter_mut().enumerate() {
-        *slot = t.data()[r * n..(r + 1) * n].iter().sum();
-    }
+    for_row_blocks(&mut out, 1, t.len(), |r0, slots| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let r = r0 + i;
+            *slot = data[r * n..(r + 1) * n].iter().sum();
+        }
+    });
     let mut shape = t.shape().to_vec();
     shape.pop();
     Tensor::from_vec(out, &shape)
@@ -54,38 +101,45 @@ pub fn mean_lastdim(t: &Tensor) -> Tensor {
 
 /// Row-wise numerically stable softmax along the last axis.
 pub fn softmax_lastdim(t: &Tensor) -> Tensor {
-    let (rows, n) = rows_of(t);
+    let (_, n) = rows_of(t);
+    let data = t.data();
     let mut out = vec![0.0f32; t.len()];
-    for r in 0..rows {
-        let row = &t.data()[r * n..(r + 1) * n];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let dst = &mut out[r * n..(r + 1) * n];
-        let mut z = 0.0f32;
-        for (d, &v) in dst.iter_mut().zip(row) {
-            let e = (v - m).exp();
-            *d = e;
-            z += e;
+    for_row_blocks(&mut out, n, t.len(), |r0, chunk| {
+        for (i, dst) in chunk.chunks_mut(n).enumerate() {
+            let r = r0 + i;
+            let row = &data[r * n..(r + 1) * n];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut z = 0.0f32;
+            for (d, &v) in dst.iter_mut().zip(row) {
+                let e = (v - m).exp();
+                *d = e;
+                z += e;
+            }
+            let inv = 1.0 / z;
+            for d in dst.iter_mut() {
+                *d *= inv;
+            }
         }
-        let inv = 1.0 / z;
-        for d in dst.iter_mut() {
-            *d *= inv;
-        }
-    }
+    });
     Tensor::from_vec(out, t.shape())
 }
 
 /// Row-wise log-softmax along the last axis (stable: `x - m - ln Σ e^{x-m}`).
 pub fn log_softmax_lastdim(t: &Tensor) -> Tensor {
-    let (rows, n) = rows_of(t);
+    let (_, n) = rows_of(t);
+    let data = t.data();
     let mut out = vec![0.0f32; t.len()];
-    for r in 0..rows {
-        let row = &t.data()[r * n..(r + 1) * n];
-        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
-        for (d, &v) in out[r * n..(r + 1) * n].iter_mut().zip(row) {
-            *d = v - lse;
+    for_row_blocks(&mut out, n, t.len(), |r0, chunk| {
+        for (i, dst) in chunk.chunks_mut(n).enumerate() {
+            let r = r0 + i;
+            let row = &data[r * n..(r + 1) * n];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&v| (v - m).exp()).sum::<f32>().ln() + m;
+            for (d, &v) in dst.iter_mut().zip(row) {
+                *d = v - lse;
+            }
         }
-    }
+    });
     Tensor::from_vec(out, t.shape())
 }
 
@@ -142,11 +196,14 @@ pub fn topk_lastdim(t: &Tensor, k: usize) -> Vec<Vec<usize>> {
 /// L2 norm of each last-axis row: `[..., n] → [...]`.
 pub fn norm2_lastdim(t: &Tensor) -> Tensor {
     let (rows, n) = rows_of(t);
+    let data = t.data();
     let mut out = vec![0.0f32; rows];
-    for (r, slot) in out.iter_mut().enumerate() {
-        let row = &t.data()[r * n..(r + 1) * n];
-        *slot = row.iter().map(|v| v * v).sum::<f32>().sqrt();
-    }
+    for_row_blocks(&mut out, 1, t.len(), |r0, slots| {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let row = &data[(r0 + i) * n..(r0 + i + 1) * n];
+            *slot = row.iter().map(|v| v * v).sum::<f32>().sqrt();
+        }
+    });
     let mut shape = t.shape().to_vec();
     shape.pop();
     Tensor::from_vec(out, &shape)
