@@ -14,7 +14,7 @@
 # Usage:
 #   ./ci.sh          # run every stage
 #   ./ci.sh gate     # just the tier-1 gate (build + tests)
-#   ./ci.sh fmt | clippy | bench | determinism   # one stage
+#   ./ci.sh fmt | clippy | bench | determinism | faults   # one stage
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -60,22 +60,55 @@ run_determinism() {
     grep '^epoch' "$t1"
 }
 
+run_faults() {
+    stage "fault-injection gate: quickstart survives injected faults"
+    # Inject a NaN loss mid-training plus two sabotaged checkpoint writes;
+    # the run must still finish with finite losses, log its recoveries,
+    # and leave at least one valid checkpoint behind (see DESIGN.md §7).
+    local log ckpt
+    log=$(mktemp); ckpt=$(mktemp -d)
+    trap 'rm -rf "$log" "$ckpt"' RETURN
+    IST_FAULTS='loss_nan@e1s3,torn_write@ckpt2,bitflip@ckpt1' IST_CKPT_DIR="$ckpt" \
+        cargo run --release --locked --example quickstart >"$log" 2>&1
+    if ! grep -q '^epoch' "$log"; then
+        echo "FAIL: no per-epoch losses in output" >&2
+        exit 1
+    fi
+    if grep '^epoch' "$log" | grep -qiE 'nan|inf'; then
+        echo "FAIL: non-finite epoch loss under fault injection" >&2
+        grep '^epoch' "$log" >&2
+        exit 1
+    fi
+    if ! grep -q '^recovery:' "$log"; then
+        echo "FAIL: recovery log is empty — injected faults went unhandled" >&2
+        exit 1
+    fi
+    if ! ls "$ckpt"/ckpt-*.ist >/dev/null 2>&1; then
+        echo "FAIL: no checkpoint files written" >&2
+        exit 1
+    fi
+    echo "fault injection survived; recovery log:"
+    grep '^recovery:' "$log" | sort -u
+}
+
 case "${1:-all}" in
     gate)        run_gate ;;
     fmt)         run_fmt ;;
     clippy)      run_clippy ;;
     bench)       run_bench ;;
     determinism) run_determinism ;;
+    faults)      run_faults ;;
     all)
         run_gate
         run_fmt
         run_clippy
         run_bench
         run_determinism
+        run_faults
         printf '\nci.sh: all stages passed\n'
         ;;
     *)
-        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism]" >&2
+        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults]" >&2
         exit 2
         ;;
 esac

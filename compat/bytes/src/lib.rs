@@ -75,6 +75,8 @@ pub trait Buf {
     fn get_u16_le(&mut self) -> u16;
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
     /// Reads a little-endian `f32`.
     fn get_f32_le(&mut self) -> f32;
     /// Reads `n` bytes into a new buffer.
@@ -104,6 +106,12 @@ impl Buf for Bytes {
         v
     }
 
+    fn get_u64_le(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.data[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
@@ -126,10 +134,18 @@ pub trait BufMut {
     fn put_u16_le(&mut self, v: u16);
     /// Writes a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
+    /// Writes a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
     /// Writes a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32);
     /// Writes a byte slice.
     fn put_slice(&mut self, s: &[u8]);
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 impl BufMut for BytesMut {
@@ -142,6 +158,10 @@ impl BufMut for BytesMut {
     }
 
     fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
 
@@ -164,13 +184,15 @@ mod tests {
         w.put_u8(7);
         w.put_u16_le(513);
         w.put_u32_le(70_000);
+        w.put_u64_le(u64::MAX - 1);
         w.put_f32_le(1.5);
         w.put_slice(b"ok");
         let mut r = w.freeze();
-        assert_eq!(r.remaining(), 1 + 2 + 4 + 4 + 2);
+        assert_eq!(r.remaining(), 1 + 2 + 4 + 8 + 4 + 2);
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16_le(), 513);
         assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), u64::MAX - 1);
         assert_eq!(r.get_f32_le(), 1.5);
         assert_eq!(r.copy_to_bytes(2).to_vec(), b"ok");
         assert_eq!(r.remaining(), 0);

@@ -1,5 +1,7 @@
 //! Model and training configuration.
 
+use std::path::PathBuf;
+
 /// How the intention graph's adjacency enters the GCN transition.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AdjacencyMode {
@@ -98,6 +100,47 @@ impl Default for IsrecConfig {
     }
 }
 
+/// Durable-checkpoint settings for [`TrainConfig`]. Disabled unless `dir`
+/// is set; see `crate::checkpoint` for the write/retention/resume protocol.
+#[derive(Clone, Debug)]
+pub struct CheckpointConfig {
+    /// Directory for checkpoint files (`None` disables checkpointing).
+    pub dir: Option<PathBuf>,
+    /// Write a checkpoint every this many epochs (the final epoch is
+    /// always checkpointed when enabled).
+    pub every_epochs: usize,
+    /// How many checkpoint files to keep (older ones are pruned).
+    pub retain: usize,
+    /// Resume from the newest valid checkpoint in `dir` before training.
+    pub resume: bool,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            dir: None,
+            every_epochs: 1,
+            retain: 3,
+            resume: true,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Checkpointing into `dir` with the default cadence and retention.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            dir: Some(dir.into()),
+            ..Default::default()
+        }
+    }
+
+    /// True when a checkpoint directory is configured.
+    pub fn enabled(&self) -> bool {
+        self.dir.is_some()
+    }
+}
+
 /// Optimisation settings shared by every model in the workspace.
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -116,6 +159,15 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Print per-epoch losses to stderr.
     pub verbose: bool,
+    /// Durable checkpointing + resume (disabled by default).
+    pub checkpoint: CheckpointConfig,
+    /// How many times one epoch may roll back and retry (with the learning
+    /// rate halved each time) after a non-finite loss or gradient before
+    /// training stops early.
+    pub max_recovery_retries: usize,
+    /// Fault-injection spec (see `crate::fault`); when `None`, the
+    /// `IST_FAULTS` environment variable is consulted instead.
+    pub faults: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -128,6 +180,9 @@ impl Default for TrainConfig {
             grad_clip: 5.0,
             seed: 42,
             verbose: false,
+            checkpoint: CheckpointConfig::default(),
+            max_recovery_retries: 4,
+            faults: None,
         }
     }
 }

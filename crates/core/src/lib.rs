@@ -21,17 +21,29 @@
 //! Ablation variants (`w/o GNN`, `w/o GNN & Intent` — Table 5) are config
 //! flags, and [`explain`] exposes the per-step candidate/activated intents
 //! that power the paper's Fig. 2 showcases.
+//!
+//! Training is fault-tolerant: [`snapshot`] defines versioned, checksummed
+//! model+optimizer images, [`checkpoint`] writes them atomically with
+//! bounded retention and newest-valid resume, [`trainer`] rolls back and
+//! backs off the learning rate on numerical blow-up, and [`fault`] injects
+//! deterministic failures (`IST_FAULTS`) so every recovery path is
+//! testable.
 
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod explain;
+pub mod fault;
 pub mod model;
 pub mod recommender;
 pub mod snapshot;
 pub mod trainer;
 
-pub use config::{AdjacencyMode, IsrecConfig, IsrecVariant, TrainConfig};
+pub use checkpoint::CheckpointManager;
+pub use config::{AdjacencyMode, CheckpointConfig, IsrecConfig, IsrecVariant, TrainConfig};
 pub use explain::{IntentStep, IntentTrace};
+pub use fault::{CkptFault, FaultPlan};
 pub use model::Isrec;
-pub use recommender::{SequentialRecommender, TrainReport};
+pub use recommender::{RecoveryEvent, RecoveryKind, SequentialRecommender, TrainReport};
+pub use snapshot::TrainerState;

@@ -1,8 +1,6 @@
 //! The ISRec model: encoder → intent extraction → structured transition →
 //! intent decoder.
 
-use std::cell::RefCell;
-
 use ist_autograd::{fused, ops, Param, Var};
 use ist_data::sampling::{SeqBatch, SeqBatcher};
 use ist_data::{LeaveOneOut, SequentialDataset};
@@ -55,8 +53,6 @@ pub struct Isrec {
     adj_logits: Option<Param>,
     /// Concept bags per item id, with an empty bag appended for the pad id.
     item_concepts: Vec<Vec<usize>>,
-    /// Gumbel-noise RNG (training only; eval sampling is deterministic).
-    rng: RefCell<SeedRng>,
 }
 
 impl Isrec {
@@ -125,7 +121,6 @@ impl Isrec {
             }),
             norm_adj: normalized_adjacency(&dataset.concept_graph),
             item_concepts,
-            rng: RefCell::new(SeedRng::seed(seed ^ 0x5eed)),
             cfg,
         }
     }
@@ -179,10 +174,12 @@ impl Isrec {
         // --- Intent extraction (Eq. 5–6) --------------------------------
         let c = self.concept_emb.full(ctx);
         let sims = fused::cosine_similarity_rows(x, &c);
-        let sample = {
-            let mut rng = self.rng.borrow_mut();
-            fused::gumbel_topk_st(&sims, self.cfg.tau, self.lambda, &mut rng, !ctx.training)
-        };
+        // Gumbel noise draws from the per-step `ctx.rng` (never model
+        // state), so a run resumed from a checkpoint replays the exact
+        // noise stream of the uninterrupted run.
+        let hard_eval = !ctx.training;
+        let sample =
+            fused::gumbel_topk_st(&sims, self.cfg.tau, self.lambda, &mut ctx.rng, hard_eval);
         // The intent gate m_t: relaxed λ-scaled probabilities in soft mode,
         // the hard straight-through multi-hot otherwise.
         let m_now = if self.cfg.soft_intents {
@@ -190,8 +187,7 @@ impl Isrec {
             // inference the noise is zero, so the gate ranks exactly like
             // the trace indices reported for explanations.
             let noise = if ctx.training {
-                let mut rng = self.rng.borrow_mut();
-                ist_tensor::rng::gumbel(&[rows, k], &mut rng)
+                ist_tensor::rng::gumbel(&[rows, k], &mut ctx.rng)
             } else {
                 Tensor::zeros(&[rows, k])
             };

@@ -5,11 +5,65 @@ use ist_data::{LeaveOneOut, SequentialDataset};
 
 use crate::config::TrainConfig;
 
+/// What tripped a rollback in the training loop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryKind {
+    /// The batch loss came back NaN or infinite.
+    NonFiniteLoss,
+    /// The global gradient norm came back NaN or infinite.
+    NonFiniteGrad,
+    /// The per-epoch retry budget ran out; training stopped early.
+    RetriesExhausted,
+}
+
+impl std::fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryKind::NonFiniteLoss => "non-finite loss",
+            RecoveryKind::NonFiniteGrad => "non-finite gradient norm",
+            RecoveryKind::RetriesExhausted => "recovery retries exhausted",
+        })
+    }
+}
+
+/// One numerical-recovery action taken by the trainer: the epoch was rolled
+/// back to its last good state and the learning rate halved (or, for
+/// [`RecoveryKind::RetriesExhausted`], training stopped).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoveryEvent {
+    /// Epoch in which the blow-up was detected.
+    pub epoch: usize,
+    /// Step within the epoch.
+    pub step: usize,
+    /// What was detected.
+    pub kind: RecoveryKind,
+    /// Learning rate in effect after the backoff.
+    pub lr_after: f32,
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at epoch {} step {} (rolled back, lr -> {:.3e})",
+            self.kind, self.epoch, self.step, self.lr_after
+        )
+    }
+}
+
 /// Per-epoch training diagnostics.
 #[derive(Clone, Debug, Default)]
 pub struct TrainReport {
-    /// Mean training loss per epoch.
+    /// Mean training loss per epoch. When the run resumed from a
+    /// checkpoint, this only covers the epochs actually run.
     pub epoch_losses: Vec<f32>,
+    /// Every rollback / LR-backoff the numerical guard performed.
+    pub recovery: Vec<RecoveryEvent>,
+    /// Epoch index of the checkpoint the run resumed from, if any
+    /// (training then started at the next epoch).
+    pub resumed_from: Option<usize>,
+    /// Checkpoint files written during this run, in order.
+    pub checkpoints: Vec<std::path::PathBuf>,
 }
 
 impl TrainReport {
@@ -66,10 +120,12 @@ mod tests {
     fn report_improvement() {
         let r = TrainReport {
             epoch_losses: vec![2.0, 1.5, 1.0],
+            ..Default::default()
         };
         assert!(r.improved());
         let flat = TrainReport {
             epoch_losses: vec![1.0, 1.2],
+            ..Default::default()
         };
         assert!(!flat.improved());
         assert!(!TrainReport::default().improved());

@@ -1,42 +1,392 @@
-//! Compact binary snapshots of trained parameters.
+//! Versioned, checksummed binary snapshots of trained parameters and
+//! (optionally) the full trainer state needed for exact resume.
 //!
-//! Format (little-endian): `u32` param count, then per parameter
-//! `u16 name_len | name bytes | u8 rank | u32 dims… | f32 data…`.
+//! ## Format v2 (current, little-endian)
+//!
+//! ```text
+//! magic "ISNP" | u32 version=2 | u8 has_state | u32 param_count
+//! param records…
+//! [trainer-state block, iff has_state = 1]
+//! u32 file_crc            CRC32 (IEEE) of every preceding byte
+//! ```
+//!
+//! Each *record* is `u16 name_len | name | u8 rank | u32 dims… | f32 data…`
+//! followed by a `u32` CRC32 of the record's own bytes, so corruption is
+//! attributed to a specific parameter. The trailing whole-file CRC makes any
+//! torn or truncated write detectable before a single value is applied.
+//!
+//! The trainer-state block is
+//! `u64 epoch | 4×u64 rng_state | f32 lr | u64 adam_t | u32 n | n records`
+//! where the records carry Adam's first/second moments under the names
+//! `m:<param>` / `v:<param>`.
+//!
+//! ## Legacy format (v1, headerless)
+//!
+//! Pre-versioning snapshots start directly with the `u32` param count and
+//! have no checksums. They are still loadable (read-only: values only, never
+//! trainer state); [`save`] always writes v2.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use ist_autograd::Param;
 use ist_tensor::Tensor;
 
-/// Serialises parameters (name, shape, values) to bytes.
-pub fn save(params: &[Param]) -> Bytes {
-    let mut buf = BytesMut::new();
-    buf.put_u32_le(params.len() as u32);
-    for p in params {
-        let name = p.name();
-        let value = p.value();
-        buf.put_u16_le(name.len() as u16);
-        buf.put_slice(name.as_bytes());
-        buf.put_u8(value.rank() as u8);
-        for &d in value.shape() {
-            buf.put_u32_le(d as u32);
-        }
-        for &v in value.data() {
-            buf.put_f32_le(v);
-        }
-    }
-    buf.freeze()
+/// First bytes of every versioned snapshot.
+pub const MAGIC: [u8; 4] = *b"ISNP";
+/// Current format version written by [`save`] / [`save_with_state`].
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Everything beyond parameter values that an exact training resume needs.
+///
+/// `adam_m` / `adam_v` are aligned index-for-index with the `params` slice
+/// passed to [`save_with_state`] / returned by [`load_full`].
+#[derive(Clone, Debug)]
+pub struct TrainerState {
+    /// Index of the last completed epoch (resume starts at `epoch + 1`).
+    pub epoch: u64,
+    /// Shuffle-RNG state captured at the end of that epoch.
+    pub rng_state: [u64; 4],
+    /// Learning rate in effect (including any recovery backoff).
+    pub lr: f32,
+    /// Adam's step counter.
+    pub adam_t: u64,
+    /// Adam first moments, aligned with the snapshot's parameter order.
+    pub adam_m: Vec<Tensor>,
+    /// Adam second moments, aligned with the snapshot's parameter order.
+    pub adam_v: Vec<Tensor>,
 }
 
-/// Restores parameter values by name. Parameters present in `params` but
-/// missing from the snapshot are left untouched; shape mismatches error.
-pub fn load(params: &[Param], mut bytes: Bytes) -> Result<usize, String> {
+/// CRC32 (IEEE 802.3, reflected) over `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Serialises parameter values to v2 bytes (no trainer state).
+pub fn save(params: &[Param]) -> Result<Bytes, String> {
+    save_with_state(params, None)
+}
+
+/// Serialises parameters plus, when given, the trainer state block.
+/// Errors if any count/length exceeds its on-disk field width or the state
+/// is not aligned with `params` — never silently truncates.
+pub fn save_with_state(params: &[Param], state: Option<&TrainerState>) -> Result<Bytes, String> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(&MAGIC);
+    buf.put_u32_le(FORMAT_VERSION);
+    buf.put_u8(state.is_some() as u8);
+    let count: u32 = params
+        .len()
+        .try_into()
+        .map_err(|_| format!("{} params exceed the u32 count field", params.len()))?;
+    buf.put_u32_le(count);
+    for p in params {
+        put_record(&mut buf, &p.name(), &p.value())?;
+    }
+    if let Some(s) = state {
+        if s.adam_m.len() != params.len() || s.adam_v.len() != params.len() {
+            return Err(format!(
+                "trainer state has {}/{} moments for {} params",
+                s.adam_m.len(),
+                s.adam_v.len(),
+                params.len()
+            ));
+        }
+        buf.put_u64_le(s.epoch);
+        for w in s.rng_state {
+            buf.put_u64_le(w);
+        }
+        buf.put_f32_le(s.lr);
+        buf.put_u64_le(s.adam_t);
+        let n: u32 = (2 * params.len())
+            .try_into()
+            .map_err(|_| "moment count exceeds u32".to_string())?;
+        buf.put_u32_le(n);
+        for (p, m) in params.iter().zip(&s.adam_m) {
+            put_record(&mut buf, &format!("m:{}", p.name()), m)?;
+        }
+        for (p, v) in params.iter().zip(&s.adam_v) {
+            put_record(&mut buf, &format!("v:{}", p.name()), v)?;
+        }
+    }
+    let mut out = buf.freeze().to_vec();
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    Ok(Bytes::from(out))
+}
+
+/// Restores parameter values by name (either format). Parameters present in
+/// `params` but missing from the snapshot are left untouched; shape
+/// mismatches and any checksum failure error out.
+pub fn load(params: &[Param], bytes: Bytes) -> Result<usize, String> {
+    load_full(params, bytes).map(|(restored, _)| restored)
+}
+
+/// Like [`load`], but also returns the trainer state when the snapshot
+/// carries one (v2 with `has_state`; legacy snapshots never do).
+///
+/// Nothing is applied to `params` until the entire snapshot — checksums,
+/// shapes, and state alignment — has validated, so a rejected snapshot
+/// leaves the model untouched.
+pub fn load_full(params: &[Param], bytes: Bytes) -> Result<(usize, Option<TrainerState>), String> {
+    let raw: &[u8] = bytes.as_ref();
+    if raw.len() >= MAGIC.len() && raw[..MAGIC.len()] == MAGIC {
+        load_v2(params, raw)
+    } else {
+        load_legacy(params, bytes).map(|restored| (restored, None))
+    }
+}
+
+/// Writes one `name | rank | dims | data` record plus its CRC32.
+fn put_record(buf: &mut BytesMut, name: &str, value: &Tensor) -> Result<(), String> {
+    let mut rec = BytesMut::new();
+    let name_len: u16 = name
+        .len()
+        .try_into()
+        .map_err(|_| format!("param name `{:.40}…` exceeds {} bytes", name, u16::MAX))?;
+    rec.put_u16_le(name_len);
+    rec.put_slice(name.as_bytes());
+    let rank: u8 = value
+        .rank()
+        .try_into()
+        .map_err(|_| format!("rank {} of {name} exceeds u8", value.rank()))?;
+    rec.put_u8(rank);
+    for &d in value.shape() {
+        let dim: u32 = d
+            .try_into()
+            .map_err(|_| format!("dimension {d} of {name} exceeds u32"))?;
+        rec.put_u32_le(dim);
+    }
+    for &v in value.data() {
+        rec.put_f32_le(v);
+    }
+    let crc = crc32(rec.as_ref());
+    buf.put_slice(rec.as_ref());
+    buf.put_u32_le(crc);
+    Ok(())
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.pos < n {
+            return Err(format!("truncated {what}"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, String> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &str) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self, what: &str) -> Result<f32, String> {
+        Ok(f32::from_bits(self.u32(what)?))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Reads one record, verifying its own CRC. Returns `(name, shape, data)`.
+fn get_record(r: &mut Reader) -> Result<(String, Vec<usize>, Vec<f32>), String> {
+    let start = r.pos;
+    let name_len = r.u16("name length")? as usize;
+    let name = String::from_utf8(r.take(name_len, "name")?.to_vec())
+        .map_err(|e| format!("bad name: {e}"))?;
+    let rank = r.u8("rank")? as usize;
+    let mut shape = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        shape.push(r.u32("shape")? as usize);
+    }
+    let len = shape
+        .iter()
+        .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+        .ok_or_else(|| format!("shape {shape:?} of {name} overflows element count"))?;
+    let byte_len = len
+        .checked_mul(4)
+        .ok_or_else(|| format!("data size of {name} overflows"))?;
+    let data_bytes = r.take(byte_len, "data")?;
+    let data: Vec<f32> = data_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+        .collect();
+    let stored_crc = r.u32("record checksum")?;
+    let actual_crc = crc32(&r.buf[start..r.pos - 4]);
+    if stored_crc != actual_crc {
+        return Err(format!(
+            "checksum mismatch in record `{name}` (stored {stored_crc:08x}, computed {actual_crc:08x})"
+        ));
+    }
+    Ok((name, shape, data))
+}
+
+fn load_v2(params: &[Param], raw: &[u8]) -> Result<(usize, Option<TrainerState>), String> {
+    // Whole-file integrity first: nothing is parsed, let alone applied,
+    // from a torn or bit-flipped snapshot.
+    if raw.len() < MAGIC.len() + 4 + 1 + 4 + 4 {
+        return Err("truncated snapshot header".into());
+    }
+    let (body, trailer) = raw.split_at(raw.len() - 4);
+    let stored = u32::from_le_bytes(trailer.try_into().unwrap());
+    let actual = crc32(body);
+    if stored != actual {
+        return Err(format!(
+            "snapshot failed whole-file checksum (stored {stored:08x}, computed {actual:08x}) — torn write or corruption"
+        ));
+    }
+
+    let mut r = Reader {
+        buf: &body[MAGIC.len()..],
+        pos: 0,
+    };
+    let version = r.u32("version")?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "unsupported snapshot version {version} (this build reads {FORMAT_VERSION} and legacy headerless)"
+        ));
+    }
+    let has_state = match r.u8("state flag")? {
+        0 => false,
+        1 => true,
+        other => return Err(format!("bad state flag {other}")),
+    };
+    let count = r.u32("param count")? as usize;
+    let mut records = Vec::with_capacity(count);
+    for _ in 0..count {
+        records.push(get_record(&mut r)?);
+    }
+
+    let state = if has_state {
+        let epoch = r.u64("epoch")?;
+        let mut rng_state = [0u64; 4];
+        for w in &mut rng_state {
+            *w = r.u64("rng state")?;
+        }
+        let lr = r.f32("learning rate")?;
+        let adam_t = r.u64("adam step")?;
+        let n = r.u32("moment count")? as usize;
+        let mut moments: std::collections::HashMap<String, (Vec<usize>, Vec<f32>)> =
+            std::collections::HashMap::with_capacity(n);
+        for _ in 0..n {
+            let (name, shape, data) = get_record(&mut r)?;
+            moments.insert(name, (shape, data));
+        }
+        Some((epoch, rng_state, lr, adam_t, moments))
+    } else {
+        None
+    };
+    if !r.done() {
+        return Err("trailing bytes after snapshot body".into());
+    }
+
+    // Validate everything against the model before mutating anything.
+    let by_name: std::collections::HashMap<String, &Param> =
+        params.iter().map(|p| (p.name(), p)).collect();
+    for (name, shape, _) in &records {
+        if let Some(p) = by_name.get(name) {
+            if &p.shape() != shape {
+                return Err(format!(
+                    "shape mismatch for {name}: snapshot {:?} vs model {:?}",
+                    shape,
+                    p.shape()
+                ));
+            }
+        }
+    }
+    let state = match state {
+        None => None,
+        Some((epoch, rng_state, lr, adam_t, mut moments)) => {
+            let mut adam_m = Vec::with_capacity(params.len());
+            let mut adam_v = Vec::with_capacity(params.len());
+            for p in params {
+                for (prefix, out) in [("m", &mut adam_m), ("v", &mut adam_v)] {
+                    let key = format!("{prefix}:{}", p.name());
+                    let (shape, data) = moments
+                        .remove(&key)
+                        .ok_or_else(|| format!("trainer state lacks moment `{key}`"))?;
+                    if shape != p.shape() {
+                        return Err(format!(
+                            "moment `{key}` shape {:?} vs param {:?}",
+                            shape,
+                            p.shape()
+                        ));
+                    }
+                    out.push(Tensor::from_vec(data, &shape));
+                }
+            }
+            Some(TrainerState {
+                epoch,
+                rng_state,
+                lr,
+                adam_t,
+                adam_m,
+                adam_v,
+            })
+        }
+    };
+
+    let mut restored = 0usize;
+    for (name, shape, data) in records {
+        if let Some(p) = by_name.get(&name) {
+            p.set_value(Tensor::from_vec(data, &shape));
+            restored += 1;
+        }
+    }
+    Ok((restored, state))
+}
+
+/// The pre-versioning loader: `u32 count` then bare records, no checksums.
+/// Like [`load_v2`] it parses and validates every record before applying
+/// any, so even a snapshot that fails half-way leaves the model untouched.
+fn load_legacy(params: &[Param], mut bytes: Bytes) -> Result<usize, String> {
     if bytes.remaining() < 4 {
         return Err("truncated snapshot header".into());
     }
     let count = bytes.get_u32_le() as usize;
     let by_name: std::collections::HashMap<String, &Param> =
         params.iter().map(|p| (p.name(), p)).collect();
-    let mut restored = 0usize;
+    let mut records = Vec::new();
     for _ in 0..count {
         if bytes.remaining() < 2 {
             return Err("truncated name length".into());
@@ -52,8 +402,14 @@ pub fn load(params: &[Param], mut bytes: Bytes) -> Result<usize, String> {
             return Err("truncated shape".into());
         }
         let shape: Vec<usize> = (0..rank).map(|_| bytes.get_u32_le() as usize).collect();
-        let len: usize = shape.iter().product();
-        if bytes.remaining() < len * 4 {
+        let len = shape
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .ok_or_else(|| format!("shape {shape:?} of {name} overflows element count"))?;
+        let byte_len = len
+            .checked_mul(4)
+            .ok_or_else(|| format!("data size of {name} overflows"))?;
+        if bytes.remaining() < byte_len {
             return Err(format!("truncated data for {name}"));
         }
         let data: Vec<f32> = (0..len).map(|_| bytes.get_f32_le()).collect();
@@ -65,6 +421,12 @@ pub fn load(params: &[Param], mut bytes: Bytes) -> Result<usize, String> {
                     p.shape()
                 ));
             }
+        }
+        records.push((name, shape, data));
+    }
+    let mut restored = 0usize;
+    for (name, shape, data) in records {
+        if let Some(p) = by_name.get(&name) {
             p.set_value(Tensor::from_vec(data, &shape));
             restored += 1;
         }
@@ -76,11 +438,42 @@ pub fn load(params: &[Param], mut bytes: Bytes) -> Result<usize, String> {
 mod tests {
     use super::*;
 
+    /// Writes params in the legacy headerless layout (the old `save`).
+    fn save_legacy(params: &[Param]) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(params.len() as u32);
+        for p in params {
+            let name = p.name();
+            let value = p.value();
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name.as_bytes());
+            buf.put_u8(value.rank() as u8);
+            for &d in value.shape() {
+                buf.put_u32_le(d as u32);
+            }
+            for &v in value.data() {
+                buf.put_f32_le(v);
+            }
+        }
+        buf.freeze()
+    }
+
+    fn toy_state(params: &[Param]) -> TrainerState {
+        TrainerState {
+            epoch: 5,
+            rng_state: [1, 2, 3, 4],
+            lr: 0.125,
+            adam_t: 77,
+            adam_m: params.iter().map(|p| Tensor::ones(&p.shape())).collect(),
+            adam_v: params.iter().map(|p| Tensor::zeros(&p.shape())).collect(),
+        }
+    }
+
     #[test]
     fn roundtrip_restores_values() {
         let a = Param::new("a", Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
         let b = Param::new("b", Tensor::from_vec(vec![4.0, 5.0], &[2, 1]));
-        let snap = save(&[a.clone(), b.clone()]);
+        let snap = save(&[a.clone(), b.clone()]).unwrap();
 
         let a2 = Param::new("a", Tensor::zeros(&[3]));
         let b2 = Param::new("b", Tensor::zeros(&[2, 1]));
@@ -91,17 +484,48 @@ mod tests {
     }
 
     #[test]
+    fn roundtrip_preserves_trainer_state() {
+        let a = Param::new("a", Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let state = toy_state(std::slice::from_ref(&a));
+        let snap = save_with_state(std::slice::from_ref(&a), Some(&state)).unwrap();
+
+        let a2 = Param::new("a", Tensor::zeros(&[2]));
+        let (restored, back) = load_full(std::slice::from_ref(&a2), snap).unwrap();
+        assert_eq!(restored, 1);
+        let back = back.expect("state present");
+        assert_eq!(back.epoch, 5);
+        assert_eq!(back.rng_state, [1, 2, 3, 4]);
+        assert_eq!(back.lr, 0.125);
+        assert_eq!(back.adam_t, 77);
+        assert_eq!(back.adam_m[0].data(), &[1.0, 1.0]);
+        assert_eq!(back.adam_v[0].data(), &[0.0, 0.0]);
+    }
+
+    #[test]
     fn shape_mismatch_is_an_error() {
         let a = Param::new("a", Tensor::zeros(&[3]));
-        let snap = save(&[a]);
+        let snap = save(&[a]).unwrap();
         let wrong = Param::new("a", Tensor::zeros(&[4]));
         assert!(load(&[wrong], snap).unwrap_err().contains("shape mismatch"));
     }
 
     #[test]
+    fn rejected_snapshot_leaves_params_untouched() {
+        let good = Param::new("good", Tensor::ones(&[2]));
+        let bad = Param::new("bad", Tensor::ones(&[3]));
+        let snap = save(&[good.clone(), bad]).unwrap();
+        // Model where `bad` has a different shape: the load must fail
+        // without applying `good` either.
+        let g2 = Param::new("good", Tensor::zeros(&[2]));
+        let b2 = Param::new("bad", Tensor::zeros(&[4]));
+        assert!(load(&[g2.clone(), b2], snap).is_err());
+        assert_eq!(g2.value().data(), &[0.0, 0.0]);
+    }
+
+    #[test]
     fn unknown_params_are_skipped() {
         let a = Param::new("a", Tensor::ones(&[2]));
-        let snap = save(&[a]);
+        let snap = save(&[a]).unwrap();
         let other = Param::new("b", Tensor::zeros(&[2]));
         let restored = load(std::slice::from_ref(&other), snap).unwrap();
         assert_eq!(restored, 0);
@@ -111,8 +535,51 @@ mod tests {
     #[test]
     fn truncated_snapshot_errors() {
         let a = Param::new("a", Tensor::ones(&[8]));
-        let snap = save(&[a]);
+        let snap = save(&[a]).unwrap();
         let cut = snap.slice(0..snap.len() - 4);
         assert!(load(&[Param::new("a", Tensor::zeros(&[8]))], cut).is_err());
+    }
+
+    #[test]
+    fn legacy_headerless_snapshot_still_loads() {
+        let a = Param::new("a", Tensor::from_vec(vec![9.0, 8.0], &[2]));
+        let legacy = save_legacy(&[a]);
+        let a2 = Param::new("a", Tensor::zeros(&[2]));
+        let (restored, state) = load_full(std::slice::from_ref(&a2), legacy).unwrap();
+        assert_eq!(restored, 1);
+        assert!(state.is_none(), "legacy snapshots carry no trainer state");
+        assert_eq!(a2.value().data(), &[9.0, 8.0]);
+    }
+
+    #[test]
+    fn oversized_name_is_rejected_at_save() {
+        let long = "x".repeat(u16::MAX as usize + 1);
+        let p = Param::new(long, Tensor::zeros(&[1]));
+        assert!(save(&[p]).unwrap_err().contains("exceeds"));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let a = Param::new("a", Tensor::from_vec(vec![1.5, -2.5, 3.25], &[3]));
+        let state = toy_state(std::slice::from_ref(&a));
+        let snap = save_with_state(std::slice::from_ref(&a), Some(&state)).unwrap();
+        let clean = snap.to_vec();
+        for i in 0..clean.len() {
+            let mut corrupt = clean.clone();
+            corrupt[i] ^= 0x20;
+            let target = Param::new("a", Tensor::zeros(&[3]));
+            assert!(
+                load_full(std::slice::from_ref(&target), Bytes::from(corrupt)).is_err(),
+                "flip at byte {i}/{} went undetected",
+                clean.len()
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // The standard IEEE check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
     }
 }

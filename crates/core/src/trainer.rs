@@ -4,13 +4,46 @@
 use ist_autograd::{fused, Param, Var};
 use ist_data::sampling::{SeqBatch, SeqBatcher};
 use ist_data::LeaveOneOut;
-use ist_nn::optim::{clip_grad_norm, Adam};
+use ist_nn::optim::{clip_grad_norm, grad_norm, Adam, AdamState};
 use ist_nn::Ctx;
 use ist_tensor::rng::{SeedRng, SeedRngExt as _};
+use ist_tensor::Tensor;
 use rand::seq::SliceRandom;
 
+use crate::checkpoint::CheckpointManager;
 use crate::config::TrainConfig;
-use crate::recommender::TrainReport;
+use crate::fault::FaultPlan;
+use crate::recommender::{RecoveryEvent, RecoveryKind, TrainReport};
+use crate::snapshot::{self, TrainerState};
+
+/// Everything needed to rewind training to the start of an epoch: parameter
+/// values, Adam's moments/step, and the shuffle-RNG cursor (captured
+/// *before* the epoch shuffle, so a retried epoch revisits the same batch
+/// order).
+struct GoodState {
+    values: Vec<Tensor>,
+    adam: AdamState,
+    rng: [u64; 4],
+}
+
+impl GoodState {
+    fn capture(params: &[Param], opt: &Adam, rng: &SeedRng) -> GoodState {
+        GoodState {
+            values: params.iter().map(|p| p.value()).collect(),
+            adam: opt.state(),
+            rng: rng.state(),
+        }
+    }
+
+    fn restore(&self, params: &[Param], opt: &mut Adam, rng: &mut SeedRng) {
+        for (p, value) in params.iter().zip(&self.values) {
+            p.set_value(value.clone());
+        }
+        opt.restore(self.adam.clone())
+            .expect("rollback state was captured from this optimizer");
+        *rng = SeedRng::from_state(self.rng);
+    }
+}
 
 /// Trains with Adam on the weighted next-item cross-entropy.
 ///
@@ -22,6 +55,16 @@ use crate::recommender::TrainReport;
 /// fan out over the shared worker pool, but the epoch shuffle RNG and the
 /// optimizer step stay on this thread — gradients are applied in a fixed
 /// order, so same-seed runs produce identical losses at any `IST_THREADS`.
+///
+/// Fault tolerance (always on): a non-finite loss or gradient norm aborts
+/// the epoch, rolls parameters and optimizer back to the start-of-epoch
+/// state, halves the learning rate, and retries (bounded by
+/// `cfg.max_recovery_retries`); every action lands in
+/// [`TrainReport::recovery`]. With `cfg.checkpoint` enabled, epochs are
+/// durably checkpointed and the run resumes from the newest valid
+/// checkpoint, reproducing the uninterrupted run's remaining epoch losses
+/// bitwise. `cfg.faults` / `IST_FAULTS` inject deterministic faults to
+/// exercise all of this (see `crate::fault`).
 pub fn train_next_item<F>(
     split: &LeaveOneOut,
     batcher: &SeqBatcher,
@@ -35,42 +78,157 @@ where
     let mut opt = Adam::new(params.clone(), cfg.lr, cfg.l2);
     let mut shuffle_rng = SeedRng::seed(cfg.seed ^ 0x00ffa17e);
     let mut report = TrainReport::default();
+    let mut faults = match &cfg.faults {
+        Some(spec) => FaultPlan::parse(spec).unwrap_or_else(|e| {
+            eprintln!("warning: ignoring cfg.faults: {e}");
+            FaultPlan::default()
+        }),
+        None => FaultPlan::from_env(),
+    };
 
-    let mut user_ids: Vec<usize> = (0..split.train.len()).collect();
-    for epoch in 0..cfg.epochs {
-        user_ids.shuffle(&mut shuffle_rng);
-        let batches = batcher.batches(&split.train, &user_ids);
-        let mut epoch_loss = 0.0f64;
-        let mut steps = 0usize;
-        for (step, batch) in batches.iter().enumerate() {
-            if batch.weights.iter().all(|&w| w == 0.0) {
-                continue; // nothing to predict in this batch
+    let mut manager = match &cfg.checkpoint.dir {
+        Some(dir) => match CheckpointManager::new(dir, cfg.checkpoint.retain) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("warning: checkpointing disabled: {e}");
+                None
             }
-            let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 32) ^ step as u64);
-            let logits = forward(&mut ctx, batch);
-            let loss = fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
-            let loss_val = loss.value().item();
-            debug_assert!(
-                loss_val.is_finite(),
-                "non-finite loss at epoch {epoch} step {step}"
-            );
-            ctx.tape.backward(&loss);
-            if cfg.grad_clip > 0.0 {
-                clip_grad_norm(&params, cfg.grad_clip);
+        },
+        None => None,
+    };
+
+    let mut start_epoch = 0usize;
+    if cfg.checkpoint.resume {
+        if let Some(mgr) = &manager {
+            if let Some((epoch, state)) = mgr.load_latest(&params) {
+                match opt.restore(AdamState {
+                    t_step: state.adam_t,
+                    m: state.adam_m,
+                    v: state.adam_v,
+                }) {
+                    Ok(()) => {
+                        opt.set_lr(state.lr);
+                        shuffle_rng = SeedRng::from_state(state.rng_state);
+                        start_epoch = epoch as usize + 1;
+                        report.resumed_from = Some(epoch as usize);
+                        if cfg.verbose {
+                            eprintln!("resumed from checkpoint at epoch {epoch}");
+                        }
+                    }
+                    Err(e) => eprintln!(
+                        "warning: checkpoint does not fit this model ({e}); training from scratch"
+                    ),
+                }
             }
-            opt.step();
-            epoch_loss += loss_val as f64;
-            steps += 1;
         }
-        let mean = if steps > 0 {
-            (epoch_loss / steps as f64) as f32
-        } else {
-            0.0
+    }
+
+    let n_users = split.train.len();
+    'epochs: for epoch in start_epoch..cfg.epochs {
+        let mut attempts = 0usize;
+        let mean = loop {
+            let good = GoodState::capture(&params, &opt, &shuffle_rng);
+            let mut user_ids: Vec<usize> = (0..n_users).collect();
+            user_ids.shuffle(&mut shuffle_rng);
+            let batches = batcher.batches(&split.train, &user_ids);
+            let mut epoch_loss = 0.0f64;
+            let mut steps = 0usize;
+            let mut failure: Option<(usize, RecoveryKind)> = None;
+            for (step, batch) in batches.iter().enumerate() {
+                if batch.weights.iter().all(|&w| w == 0.0) {
+                    continue; // nothing to predict in this batch
+                }
+                let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 32) ^ step as u64);
+                let logits = forward(&mut ctx, batch);
+                let loss = fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
+                let mut loss_val = loss.value().item();
+                if faults.take_loss_nan(epoch, step) {
+                    loss_val = f32::NAN;
+                }
+                if !loss_val.is_finite() {
+                    failure = Some((step, RecoveryKind::NonFiniteLoss));
+                    break;
+                }
+                ctx.tape.backward(&loss);
+                let mut gnorm = if cfg.grad_clip > 0.0 {
+                    clip_grad_norm(&params, cfg.grad_clip)
+                } else {
+                    grad_norm(&params)
+                };
+                if faults.take_grad_inf(epoch, step) {
+                    gnorm = f32::INFINITY;
+                }
+                if !gnorm.is_finite() {
+                    for p in &params {
+                        p.zero_grad();
+                    }
+                    failure = Some((step, RecoveryKind::NonFiniteGrad));
+                    break;
+                }
+                opt.step();
+                epoch_loss += loss_val as f64;
+                steps += 1;
+            }
+            match failure {
+                None => {
+                    break if steps > 0 {
+                        (epoch_loss / steps as f64) as f32
+                    } else {
+                        0.0
+                    };
+                }
+                Some((step, kind)) => {
+                    good.restore(&params, &mut opt, &mut shuffle_rng);
+                    attempts += 1;
+                    let lr_after = opt.lr() * 0.5;
+                    opt.set_lr(lr_after);
+                    let event = RecoveryEvent {
+                        epoch,
+                        step,
+                        kind,
+                        lr_after,
+                    };
+                    eprintln!("recovery: {event}");
+                    report.recovery.push(event);
+                    if attempts > cfg.max_recovery_retries {
+                        let abort = RecoveryEvent {
+                            epoch,
+                            step,
+                            kind: RecoveryKind::RetriesExhausted,
+                            lr_after,
+                        };
+                        eprintln!("recovery: {abort} — stopping training early");
+                        report.recovery.push(abort);
+                        break 'epochs;
+                    }
+                }
+            }
         };
         if cfg.verbose {
             eprintln!("epoch {epoch:>3}: loss {mean:.4}");
         }
         report.epoch_losses.push(mean);
+
+        if let Some(mgr) = manager.as_mut() {
+            let every = cfg.checkpoint.every_epochs.max(1);
+            if (epoch + 1) % every == 0 || epoch + 1 == cfg.epochs {
+                let adam = opt.state();
+                let state = TrainerState {
+                    epoch: epoch as u64,
+                    rng_state: shuffle_rng.state(),
+                    lr: opt.lr(),
+                    adam_t: adam.t_step,
+                    adam_m: adam.m,
+                    adam_v: adam.v,
+                };
+                let written = snapshot::save_with_state(&params, Some(&state))
+                    .and_then(|bytes| mgr.save(epoch as u64, bytes.as_ref(), &mut faults));
+                match written {
+                    Ok(path) => report.checkpoints.push(path),
+                    Err(e) => eprintln!("warning: checkpoint at epoch {epoch} failed: {e}"),
+                }
+            }
+        }
     }
     report
 }

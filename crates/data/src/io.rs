@@ -99,46 +99,61 @@ pub fn load_dataset(dir: &Path) -> Result<SequentialDataset, String> {
     let mut name = String::new();
     let mut domain = Domain::Movies;
     let mut num_items = 0usize;
-    for line in read(F_META)?.lines() {
-        let mut parts = line.splitn(2, '\t');
-        let key = parts.next().unwrap_or_default();
-        let val = parts
-            .next()
-            .ok_or_else(|| format!("malformed meta line `{line}`"))?;
+    for (lineno, line) in read(F_META)?.lines().enumerate() {
+        let (key, val) = line.split_once('\t').ok_or_else(|| {
+            format!(
+                "{F_META} line {}: malformed `{line}` (expected key<TAB>value)",
+                lineno + 1
+            )
+        })?;
         match key {
             "name" => name = val.to_string(),
             "domain" => domain = parse_domain(val)?,
-            "num_items" => num_items = val.parse().map_err(|e| format!("bad num_items: {e}"))?,
-            other => return Err(format!("unknown meta key `{other}`")),
+            "num_items" => {
+                num_items = val
+                    .parse()
+                    .map_err(|e| format!("{F_META} line {}: bad num_items: {e}", lineno + 1))?
+            }
+            other => {
+                return Err(format!(
+                    "{F_META} line {}: unknown meta key `{other}`",
+                    lineno + 1
+                ))
+            }
         }
     }
 
-    let parse_row = |line: &str| -> Result<Vec<usize>, String> {
+    let parse_row = |file: &str, lineno: usize, line: &str| -> Result<Vec<usize>, String> {
         if line.is_empty() {
             return Ok(Vec::new());
         }
         line.split('\t')
             .map(|tok| {
                 tok.parse::<usize>()
-                    .map_err(|e| format!("bad id `{tok}`: {e}"))
+                    .map_err(|e| format!("{file} line {}: bad id `{tok}`: {e}", lineno + 1))
             })
             .collect()
     };
     let sequences: Vec<Vec<usize>> = read(F_SEQUENCES)?
         .lines()
-        .map(parse_row)
+        .enumerate()
+        .map(|(i, line)| parse_row(F_SEQUENCES, i, line))
         .collect::<Result<_, _>>()?;
     let item_concepts: Vec<Vec<usize>> = read(F_ITEM_CONCEPTS)?
         .lines()
-        .map(parse_row)
+        .enumerate()
+        .map(|(i, line)| parse_row(F_ITEM_CONCEPTS, i, line))
         .collect::<Result<_, _>>()?;
     let concept_names: Vec<String> = read(F_CONCEPTS)?.lines().map(|s| s.to_string()).collect();
 
     let mut edges = Vec::new();
-    for line in read(F_EDGES)?.lines() {
-        let row = parse_row(line)?;
+    for (lineno, line) in read(F_EDGES)?.lines().enumerate() {
+        let row = parse_row(F_EDGES, lineno, line)?;
         if row.len() != 2 {
-            return Err(format!("edge line `{line}` must have two endpoints"));
+            return Err(format!(
+                "{F_EDGES} line {}: edge `{line}` must have two endpoints",
+                lineno + 1
+            ));
         }
         edges.push((row[0], row[1]));
     }

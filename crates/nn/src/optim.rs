@@ -9,14 +9,20 @@
 use ist_autograd::Param;
 use ist_tensor::{ops as t, Tensor};
 
-/// Clips the *global* L2 norm of all gradients to `max_norm`.
-/// Returns the pre-clip norm.
-pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+/// The *global* L2 norm over all gradients (read-only; the quantity
+/// [`clip_grad_norm`] clips, also the trainer's numerical-health probe).
+pub fn grad_norm(params: &[Param]) -> f32 {
     let total: f32 = params
         .iter()
         .map(|p| p.grad().data().iter().map(|v| v * v).sum::<f32>())
         .sum();
-    let norm = total.sqrt();
+    total.sqrt()
+}
+
+/// Clips the *global* L2 norm of all gradients to `max_norm`.
+/// Returns the pre-clip norm.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    let norm = grad_norm(params);
     if norm > max_norm && norm > 0.0 {
         let scale = max_norm / norm;
         for p in params {
@@ -79,6 +85,25 @@ impl Sgd {
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
     }
+}
+
+/// A capture of Adam's mutable state (step counter and both moment
+/// vectors, aligned with the optimizer's parameter list). Used by the
+/// trainer for in-memory rollback on numerical blow-up and serialised into
+/// checkpoints so a resumed run continues the exact optimizer trajectory.
+///
+/// The learning rate is deliberately *not* part of the state: it is a
+/// schedule input owned by the caller (persisted separately in
+/// checkpoints, and intentionally kept at its backed-off value across a
+/// rollback).
+#[derive(Clone, Debug)]
+pub struct AdamState {
+    /// Number of `step()` calls applied so far (drives bias correction).
+    pub t_step: u64,
+    /// First-moment estimates, one tensor per parameter.
+    pub m: Vec<Tensor>,
+    /// Second-moment estimates, one tensor per parameter.
+    pub v: Vec<Tensor>,
 }
 
 /// Adam (Kingma & Ba) with bias correction and decoupled weight decay
@@ -155,6 +180,48 @@ impl Adam {
     /// Replaces the learning rate (for schedules).
     pub fn set_lr(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    /// Number of `step()` calls applied so far.
+    pub fn t_step(&self) -> u64 {
+        self.t_step
+    }
+
+    /// Clones out the mutable optimizer state (for rollback/checkpointing).
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            t_step: self.t_step,
+            m: self.m.clone(),
+            v: self.v.clone(),
+        }
+    }
+
+    /// Replaces the mutable optimizer state with a previously captured one.
+    /// Errors (leaving the optimizer untouched) if the moment vectors do not
+    /// match this optimizer's parameters in count or shape.
+    pub fn restore(&mut self, state: AdamState) -> Result<(), String> {
+        if state.m.len() != self.params.len() || state.v.len() != self.params.len() {
+            return Err(format!(
+                "optimizer state for {} params, model has {}",
+                state.m.len(),
+                self.params.len()
+            ));
+        }
+        for (p, (m, v)) in self.params.iter().zip(state.m.iter().zip(state.v.iter())) {
+            if m.shape() != p.shape().as_slice() || v.shape() != p.shape().as_slice() {
+                return Err(format!(
+                    "optimizer moment shape {:?}/{:?} does not match param {} ({:?})",
+                    m.shape(),
+                    v.shape(),
+                    p.name(),
+                    p.shape()
+                ));
+            }
+        }
+        self.t_step = state.t_step;
+        self.m = state.m;
+        self.v = state.v;
+        Ok(())
     }
 }
 
@@ -237,6 +304,53 @@ mod tests {
         // Direction preserved.
         let g = p.grad();
         assert!((g.data()[0] / g.data()[1] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn state_restore_replays_identical_trajectory() {
+        let p = Param::new("w", Tensor::scalar(10.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.3, 0.0);
+        for _ in 0..10 {
+            quadratic_step(&p);
+            opt.step();
+        }
+        let saved_param = p.value();
+        let saved_state = opt.state();
+        quadratic_step(&p);
+        opt.step();
+        let after_one_more = p.value().item();
+
+        // Roll back and replay: bitwise-identical continuation.
+        p.set_value(saved_param);
+        opt.restore(saved_state).expect("shapes match");
+        quadratic_step(&p);
+        opt.step();
+        assert_eq!(p.value().item().to_bits(), after_one_more.to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_state() {
+        let p = Param::new("w", Tensor::scalar(0.0));
+        let mut opt = Adam::new(vec![p.clone()], 0.1, 0.0);
+        let bad = AdamState {
+            t_step: 1,
+            m: vec![Tensor::zeros(&[2])],
+            v: vec![Tensor::zeros(&[2])],
+        };
+        assert!(opt.restore(bad).is_err());
+        let wrong_len = AdamState {
+            t_step: 1,
+            m: vec![],
+            v: vec![],
+        };
+        assert!(opt.restore(wrong_len).is_err());
+    }
+
+    #[test]
+    fn grad_norm_matches_clip_probe() {
+        let p = Param::new("w", Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        p.accumulate_grad(&Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        assert!((grad_norm(std::slice::from_ref(&p)) - 5.0).abs() < 1e-5);
     }
 
     #[test]

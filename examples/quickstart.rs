@@ -6,7 +6,9 @@
 //! ```
 
 use isrec_suite::data::{IntentWorld, LeaveOneOut, WorldConfig};
-use isrec_suite::isrec::{explain, Isrec, IsrecConfig, SequentialRecommender, TrainConfig};
+use isrec_suite::isrec::{
+    explain, CheckpointConfig, Isrec, IsrecConfig, SequentialRecommender, TrainConfig,
+};
 
 fn main() {
     // 1. A small Amazon-Beauty-like world (synthetic; see DESIGN.md §2).
@@ -32,14 +34,25 @@ fn main() {
         7,
     );
 
-    // 3. Train with Adam on the next-item objective (Eq. 13–14).
-    let train = TrainConfig {
+    // 3. Train with Adam on the next-item objective (Eq. 13–14). Setting
+    //    IST_CKPT_DIR enables durable checkpoints + resume (and IST_FAULTS
+    //    injects deterministic failures — see DESIGN.md).
+    let mut train = TrainConfig {
         epochs: 8,
         lr: 5e-3,
         verbose: true,
         ..Default::default()
     };
+    if let Ok(dir) = std::env::var("IST_CKPT_DIR") {
+        train.checkpoint = CheckpointConfig::in_dir(dir);
+    }
     let report = model.fit(&dataset, &split, &train);
+    if let Some(epoch) = report.resumed_from {
+        println!("resumed from checkpoint at epoch {epoch}");
+    }
+    for event in &report.recovery {
+        println!("recovery: {event}");
+    }
     println!(
         "training: first-epoch loss {:.3} → last-epoch loss {:.3}",
         report.epoch_losses.first().unwrap(),

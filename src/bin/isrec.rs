@@ -6,6 +6,8 @@
 //! isrec stats    --data data/beauty
 //! isrec train    --data data/beauty --snapshot model.bin [--epochs 12]
 //!                [--lr 0.005] [--max-len 20] [--seed 42]
+//!                [--checkpoint-dir ckpts/] [--checkpoint-every 1]
+//!                [--checkpoint-retain 3] [--resume true|false]
 //! isrec eval     --data data/beauty --snapshot model.bin [--max-users 250]
 //! isrec explain  --data data/beauty --snapshot model.bin [--user 0] [--top 5]
 //! ```
@@ -22,7 +24,7 @@ use isrec_suite::data::stats::{
 use isrec_suite::data::{io as dio, IntentWorld, LeaveOneOut, WorldConfig};
 use isrec_suite::eval::{EvalProtocol, ProtocolConfig};
 use isrec_suite::isrec::{
-    explain, snapshot, Isrec, IsrecConfig, SequentialRecommender, TrainConfig,
+    explain, snapshot, CheckpointConfig, Isrec, IsrecConfig, SequentialRecommender, TrainConfig,
 };
 use isrec_suite::nn::Module;
 
@@ -156,15 +158,31 @@ fn cmd_train(args: &Args) -> Result<(), String> {
     let ds = load(args)?;
     let split = LeaveOneOut::split(&ds.sequences);
     let mut model = build_model(&ds, args)?;
+    let checkpoint = match args.get("checkpoint-dir") {
+        Some(dir) => CheckpointConfig {
+            dir: Some(PathBuf::from(dir)),
+            every_epochs: args.num("checkpoint-every", 1usize)?.max(1),
+            retain: args.num("checkpoint-retain", 3usize)?.max(1),
+            resume: args.num("resume", true)?,
+        },
+        None => CheckpointConfig::default(),
+    };
     let train = TrainConfig {
         epochs: args.num("epochs", 12usize)?,
         lr: args.num("lr", 5e-3f32)?,
         batch_size: args.num("batch-size", 64usize)?,
         seed: args.num("seed", 42u64)?,
         verbose: true,
+        checkpoint,
         ..Default::default()
     };
     let report = model.fit(&ds, &split, &train);
+    if let Some(epoch) = report.resumed_from {
+        println!("resumed from checkpoint at epoch {epoch}");
+    }
+    for event in &report.recovery {
+        println!("recovery: {event}");
+    }
     println!(
         "trained {} epochs: loss {:.4} → {:.4}",
         report.epoch_losses.len(),
@@ -172,7 +190,7 @@ fn cmd_train(args: &Args) -> Result<(), String> {
         report.epoch_losses.last().copied().unwrap_or(0.0)
     );
     let snap_path = PathBuf::from(args.require("snapshot")?);
-    std::fs::write(&snap_path, snapshot::save(&model.params()))
+    std::fs::write(&snap_path, snapshot::save(&model.params())?)
         .map_err(|e| format!("write snapshot: {e}"))?;
     println!(
         "snapshot written to {snap_path:?} ({} params)",

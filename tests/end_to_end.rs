@@ -181,12 +181,54 @@ fn snapshot_roundtrip_preserves_scores() {
     let cands: Vec<usize> = (0..10).collect();
     let before = model.score(&hist, &cands);
 
-    let bytes = snapshot::save(&model.params());
+    let bytes = snapshot::save(&model.params()).expect("save");
     let fresh = Isrec::new(&ds, cfg, 999); // different init seed
     let restored = snapshot::load(&fresh.params(), bytes).expect("load");
     assert_eq!(restored, fresh.params().len());
     let after = fresh.score(&hist, &cands);
     assert_eq!(before, after, "restored model must score identically");
+}
+
+#[test]
+fn isrec_resume_replays_uninterrupted_losses_bitwise() {
+    use isrec_suite::isrec::CheckpointConfig;
+
+    let ds = tiny_world(9);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let cfg = IsrecConfig {
+        d: 16,
+        max_len: 10,
+        layers: 1,
+        ..Default::default()
+    };
+    let train = |epochs: usize, checkpoint: CheckpointConfig| {
+        let mut model = Isrec::new(&ds, cfg.clone(), 8);
+        model.fit(
+            &ds,
+            &split,
+            &TrainConfig {
+                epochs,
+                checkpoint,
+                faults: Some(String::new()),
+                ..fast_train()
+            },
+        )
+    };
+    let bits = |losses: &[f32]| losses.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+
+    let full = train(4, CheckpointConfig::default());
+    let dir = std::env::temp_dir().join(format!("isrec-e2e-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let first = train(2, CheckpointConfig::in_dir(&dir));
+    assert_eq!(bits(&first.epoch_losses), bits(&full.epoch_losses[..2]));
+    let second = train(4, CheckpointConfig::in_dir(&dir));
+    assert_eq!(second.resumed_from, Some(1));
+    assert_eq!(
+        bits(&second.epoch_losses),
+        bits(&full.epoch_losses[2..]),
+        "resumed ISRec must replay the uninterrupted run's losses bitwise"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
