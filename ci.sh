@@ -14,7 +14,7 @@
 # Usage:
 #   ./ci.sh          # run every stage
 #   ./ci.sh gate     # just the tier-1 gate (build + tests)
-#   ./ci.sh fmt | clippy | bench | determinism | faults   # one stage
+#   ./ci.sh fmt | clippy | bench | determinism | faults | metrics  # one stage
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -91,6 +91,56 @@ run_faults() {
     grep '^recovery:' "$log" | sort -u
 }
 
+run_metrics() {
+    stage "observability gate: IST_METRICS=json emits valid, complete telemetry"
+    # Run the quickstart with JSON telemetry into a file (checkpoints on so
+    # ckpt.write spans appear), then validate every line is a JSON object
+    # carrying the schema keys, and that the required probes all reported.
+    local metrics ckpt t1 t4
+    metrics=$(mktemp); ckpt=$(mktemp -d); t1=$(mktemp); t4=$(mktemp)
+    trap 'rm -rf "$metrics" "$ckpt" "$t1" "$t4"' RETURN
+    IST_METRICS=json IST_METRICS_OUT="$metrics" IST_CKPT_DIR="$ckpt" \
+        cargo run --release --locked --example quickstart >/dev/null 2>&1
+    python3 - "$metrics" <<'EOF'
+import json, sys
+
+required = {"tensor.gemm", "train.epoch", "ckpt.write", "eval.protocol"}
+seen = set()
+with open(sys.argv[1]) as f:
+    lines = [l for l in f if l.strip()]
+if not lines:
+    sys.exit("FAIL: metrics file is empty")
+for i, line in enumerate(lines, 1):
+    try:
+        obj = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"FAIL: line {i} is not valid JSON ({e}): {line!r}")
+    if "span" in obj:
+        if "elapsed_us" not in obj:
+            sys.exit(f"FAIL: span line {i} lacks elapsed_us: {line!r}")
+        seen.add(obj["span"])
+    elif "counter" in obj:
+        if "value" not in obj:
+            sys.exit(f"FAIL: counter line {i} lacks value: {line!r}")
+    else:
+        sys.exit(f"FAIL: line {i} is neither span nor counter: {line!r}")
+missing = required - seen
+if missing:
+    sys.exit(f"FAIL: no telemetry from probes: {sorted(missing)}")
+print(f"validated {len(lines)} telemetry lines; spans cover {sorted(required)}")
+EOF
+    # Telemetry on must not break the determinism guarantee either.
+    IST_METRICS=json IST_METRICS_OUT=/dev/null IST_THREADS=1 \
+        cargo run --release --locked --example quickstart 2>"$t1" >/dev/null
+    IST_METRICS=json IST_METRICS_OUT=/dev/null IST_THREADS=4 \
+        cargo run --release --locked --example quickstart 2>"$t4" >/dev/null
+    if ! diff <(grep '^epoch' "$t1") <(grep '^epoch' "$t4"); then
+        echo "FAIL: with IST_METRICS=json, losses differ across IST_THREADS=1 vs 4" >&2
+        exit 1
+    fi
+    echo "losses identical across thread counts with telemetry enabled"
+}
+
 case "${1:-all}" in
     gate)        run_gate ;;
     fmt)         run_fmt ;;
@@ -98,6 +148,7 @@ case "${1:-all}" in
     bench)       run_bench ;;
     determinism) run_determinism ;;
     faults)      run_faults ;;
+    metrics)     run_metrics ;;
     all)
         run_gate
         run_fmt
@@ -105,10 +156,11 @@ case "${1:-all}" in
         run_bench
         run_determinism
         run_faults
+        run_metrics
         printf '\nci.sh: all stages passed\n'
         ;;
     *)
-        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults]" >&2
+        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults|metrics]" >&2
         exit 2
         ;;
 esac

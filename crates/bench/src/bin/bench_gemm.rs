@@ -45,6 +45,12 @@ fn gflops(n: usize, ms: f64) -> f64 {
 }
 
 fn main() {
+    // Aggregate telemetry (GEMM call counts, GFLOP/s, pool utilisation)
+    // rides along in the JSON artifact; Summary mode costs one branch per
+    // timed call and emits nothing until the final flush.
+    if !ist_obs::enabled() {
+        ist_obs::set_mode(ist_obs::Mode::Summary);
+    }
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_gemm.json".to_string());
@@ -119,6 +125,13 @@ fn main() {
             r.ms_per_iter,
             if i + 1 < rows.len() { "," } else { "" }
         ));
+    }
+    json.push_str("  ],\n  \"obs\": [\n");
+    let snapshot = ist_obs::snapshot_json();
+    for (i, line) in snapshot.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(line);
+        json.push_str(if i + 1 < snapshot.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]\n}\n");
     std::fs::write(&out_path, &json).expect("write BENCH_gemm.json");

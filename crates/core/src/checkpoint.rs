@@ -79,6 +79,9 @@ impl CheckpointManager {
         faults: &mut FaultPlan,
     ) -> Result<PathBuf, String> {
         self.writes += 1;
+        let _span = ist_obs::Span::enter("ckpt.write")
+            .field("epoch", epoch)
+            .field("bytes", bytes.len());
         let path = self.dir.join(format!("{PREFIX}{epoch:08}.{EXT}"));
         match faults.take_ckpt_fault(self.writes) {
             Some(CkptFault::TornWrite) => {

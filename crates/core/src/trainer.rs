@@ -16,6 +16,10 @@ use crate::fault::FaultPlan;
 use crate::recommender::{RecoveryEvent, RecoveryKind, TrainReport};
 use crate::snapshot::{self, TrainerState};
 
+/// Counts every rollback-and-retry the fault-tolerance path performs, so a
+/// metrics stream records recoveries even when the caller drops the report.
+static RECOVERIES: ist_obs::Counter = ist_obs::Counter::new("train.recoveries");
+
 /// Everything needed to rewind training to the start of an epoch: parameter
 /// values, Adam's moments/step, and the shuffle-RNG cursor (captured
 /// *before* the epoch shuffle, so a retried epoch revisits the same batch
@@ -125,14 +129,16 @@ where
 
     let n_users = split.train.len();
     'epochs: for epoch in start_epoch..cfg.epochs {
+        let mut span = ist_obs::Span::enter("train.epoch").field("epoch", epoch);
         let mut attempts = 0usize;
-        let mean = loop {
+        let (mean, steps_done, last_gnorm) = loop {
             let good = GoodState::capture(&params, &opt, &shuffle_rng);
             let mut user_ids: Vec<usize> = (0..n_users).collect();
             user_ids.shuffle(&mut shuffle_rng);
             let batches = batcher.batches(&split.train, &user_ids);
             let mut epoch_loss = 0.0f64;
             let mut steps = 0usize;
+            let mut last_gnorm = 0.0f32;
             let mut failure: Option<(usize, RecoveryKind)> = None;
             for (step, batch) in batches.iter().enumerate() {
                 if batch.weights.iter().all(|&w| w == 0.0) {
@@ -166,15 +172,16 @@ where
                     break;
                 }
                 opt.step();
+                last_gnorm = gnorm;
                 epoch_loss += loss_val as f64;
                 steps += 1;
             }
             match failure {
                 None => {
                     break if steps > 0 {
-                        (epoch_loss / steps as f64) as f32
+                        ((epoch_loss / steps as f64) as f32, steps, last_gnorm)
                     } else {
-                        0.0
+                        (0.0, 0, 0.0)
                     };
                 }
                 Some((step, kind)) => {
@@ -189,6 +196,7 @@ where
                         lr_after,
                     };
                     eprintln!("recovery: {event}");
+                    RECOVERIES.add(1);
                     report.recovery.push(event);
                     if attempts > cfg.max_recovery_retries {
                         let abort = RecoveryEvent {
@@ -208,6 +216,15 @@ where
             eprintln!("epoch {epoch:>3}: loss {mean:.4}");
         }
         report.epoch_losses.push(mean);
+        if span.active() {
+            span.add_field("loss", mean);
+            span.add_field("steps", steps_done);
+            span.add_field("grad_norm", last_gnorm);
+            let secs = span.elapsed_secs();
+            if secs > 0.0 {
+                span.add_field("steps_per_s", steps_done as f64 / secs);
+            }
+        }
 
         if let Some(mgr) = manager.as_mut() {
             let every = cfg.checkpoint.every_epochs.max(1);

@@ -52,6 +52,14 @@ impl WeightedSampler {
 /// Draws `n` distinct uniform negatives from `0..num_items` avoiding
 /// `exclude` (the paper's 100-negatives evaluation protocol).
 ///
+/// Two regimes: when the item pool is comfortably larger than the request
+/// (`exclude.len() + n ≤ num_items / 2`), the historical rejection sampler
+/// runs — kept bit-for-bit so seeds pinned before the dense path landed
+/// still reproduce the same negatives. When exclusions are dense, rejection
+/// degenerates (its expected draw count diverges as the free pool shrinks),
+/// so the complement is materialised and a partial Fisher–Yates takes
+/// exactly `n` RNG draws regardless of density.
+///
 /// Panics if fewer than `n` candidates exist.
 pub fn sample_negatives(
     num_items: usize,
@@ -63,6 +71,16 @@ pub fn sample_negatives(
         num_items - exclude.len().min(num_items) >= n,
         "not enough negative candidates"
     );
+    if exclude.len() + n > num_items / 2 {
+        let mut candidates: Vec<usize> = (0..num_items).filter(|i| !exclude.contains(i)).collect();
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let j = rng.gen_range(i..candidates.len());
+            candidates.swap(i, j);
+            out.push(candidates[i]);
+        }
+        return out;
+    }
     let mut out = Vec::with_capacity(n);
     let mut seen = exclude.clone();
     while out.len() < n {
@@ -247,6 +265,60 @@ mod tests {
         let set: HashSet<_> = negs.iter().collect();
         assert_eq!(set.len(), 30, "duplicates drawn");
         assert!(negs.iter().all(|n| !exclude.contains(n)));
+    }
+
+    #[test]
+    fn sparse_path_preserves_rng_stream() {
+        // The sparse regime must stay bit-identical to the original
+        // rejection sampler, so pre-existing pinned seeds keep reproducing
+        // the same candidate lists.
+        let exclude: HashSet<usize> = [5, 6].into_iter().collect();
+        let mut rng = SeedRng::seed(41);
+        let got = sample_negatives(1000, &exclude, 10, &mut rng);
+
+        let mut reference_rng = SeedRng::seed(41);
+        let mut reference = Vec::new();
+        let mut seen = exclude.clone();
+        while reference.len() < 10 {
+            let cand = reference_rng.gen_range(0..1000);
+            if seen.insert(cand) {
+                reference.push(cand);
+            }
+        }
+        assert_eq!(got, reference);
+        // And the RNG cursor itself advanced identically.
+        assert_eq!(rng.gen_range(0..1000), reference_rng.gen_range(0..1000));
+    }
+
+    #[test]
+    fn dense_exclusion_samples_exactly_the_complement() {
+        // All but 10 of 10k items excluded: rejection sampling would need
+        // ~1000 draws per accept; the dense path takes exactly n draws and
+        // must return precisely the complement (in some order).
+        let num_items = 10_000;
+        let exclude: HashSet<usize> = (0..num_items - 10).collect();
+        let mut rng = SeedRng::seed(9);
+        let mut negs = sample_negatives(num_items, &exclude, 10, &mut rng);
+        negs.sort_unstable();
+        assert_eq!(negs, (num_items - 10..num_items).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn dense_exclusion_property() {
+        // Dense regime across a spread of pool sizes: exact count, no
+        // duplicates, nothing excluded, everything in range.
+        let mut rng = SeedRng::seed(11);
+        for trial in 0..20 {
+            let num_items = 60 + trial;
+            let exclude: HashSet<usize> = (0..num_items).filter(|i| i % 3 != 0).collect();
+            let n = 15;
+            assert!(exclude.len() + n > num_items / 2, "must hit the dense path");
+            let negs = sample_negatives(num_items, &exclude, n, &mut rng);
+            assert_eq!(negs.len(), n);
+            let distinct: HashSet<usize> = negs.iter().copied().collect();
+            assert_eq!(distinct.len(), n, "duplicates drawn");
+            assert!(negs.iter().all(|v| !exclude.contains(v) && *v < num_items));
+        }
     }
 
     #[test]

@@ -102,6 +102,20 @@ impl MetricSet {
         m
     }
 
+    /// The all-NaN set used to mark a failed (panicked) evaluation cell.
+    /// NaN, unlike 0.0, can never be confused with a legitimately terrible
+    /// model and renders as `-` in the report tables.
+    pub fn nan() -> Self {
+        MetricSet {
+            hr1: f64::NAN,
+            hr5: f64::NAN,
+            hr10: f64::NAN,
+            ndcg5: f64::NAN,
+            ndcg10: f64::NAN,
+            mrr: f64::NAN,
+        }
+    }
+
     /// The metrics as `(name, value)` pairs in the paper's row order.
     pub fn named(&self) -> [(&'static str, f64); 6] {
         [

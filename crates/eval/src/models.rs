@@ -8,6 +8,9 @@ use ist_baselines::{
 use ist_data::SequentialDataset;
 
 /// Every method of Tables 2 and 5.
+// `PanicProbe` is a hidden but fully constructible test probe, not a
+// non-exhaustive marker variant.
+#[allow(clippy::manual_non_exhaustive)]
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ModelSpec {
     /// Popularity ranking.
@@ -40,6 +43,10 @@ pub enum ModelSpec {
     IsrecWithoutGnn,
     /// Ablation: ISRec without the intent modules entirely.
     IsrecWithoutGnnAndIntent,
+    /// Test-only spec whose `fit` always panics; exercises the runner's
+    /// per-cell panic isolation. Never appears in a paper table.
+    #[doc(hidden)]
+    PanicProbe,
 }
 
 impl ModelSpec {
@@ -91,6 +98,7 @@ impl ModelSpec {
             ModelSpec::Isrec => "ISRec",
             ModelSpec::IsrecWithoutGnn => "w/o GNN",
             ModelSpec::IsrecWithoutGnnAndIntent => "w/o GNN&Intent",
+            ModelSpec::PanicProbe => "PanicProbe",
         }
     }
 
@@ -105,6 +113,7 @@ impl ModelSpec {
     ) -> Box<dyn SequentialRecommender> {
         let d = 32;
         match self {
+            ModelSpec::PanicProbe => Box::new(PanicProbeModel),
             ModelSpec::PopRec => Box::new(PopRec::new()),
             ModelSpec::BprMf => Box::new(BprMf::new(d)),
             ModelSpec::Ncf => Box::new(Ncf::new(d, vec![32])),
@@ -167,6 +176,39 @@ impl ModelSpec {
             },
             _ => base.clone(),
         }
+    }
+}
+
+/// The model behind [`ModelSpec::PanicProbe`]: panics on `fit`, so a suite
+/// containing it proves panic isolation without corrupting any real model.
+#[doc(hidden)]
+pub struct PanicProbeModel;
+
+impl SequentialRecommender for PanicProbeModel {
+    fn name(&self) -> String {
+        "PanicProbe".into()
+    }
+
+    fn fit(
+        &mut self,
+        _dataset: &SequentialDataset,
+        _split: &ist_data::LeaveOneOut,
+        _cfg: &TrainConfig,
+    ) -> isrec_core::TrainReport {
+        panic!("PanicProbe: deliberate training failure");
+    }
+
+    fn score_batch(
+        &self,
+        users: &[usize],
+        _histories: &[&[usize]],
+        candidates: &[&[usize]],
+    ) -> Vec<Vec<f32>> {
+        users
+            .iter()
+            .zip(candidates)
+            .map(|(_, c)| vec![0.0; c.len()])
+            .collect()
     }
 }
 

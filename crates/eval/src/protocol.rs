@@ -53,6 +53,7 @@ impl EvalProtocol {
         split: &LeaveOneOut,
         config: &ProtocolConfig,
     ) -> Self {
+        let mut span = ist_obs::Span::enter("eval.protocol.build");
         let mut rng = SeedRng::seed(config.seed);
         let mut users: Vec<usize> = (0..dataset.num_users())
             .filter(|&u| {
@@ -92,6 +93,7 @@ impl EvalProtocol {
             histories.push(history);
             candidates.push(cands);
         }
+        span.add_field("users", users.len());
         EvalProtocol {
             users,
             histories,
@@ -111,6 +113,7 @@ impl EvalProtocol {
 
     /// Ranks every task with `model` and aggregates the metric set.
     pub fn evaluate(&self, model: &dyn SequentialRecommender) -> MetricSet {
+        let _span = ist_obs::Span::enter("eval.protocol").field("users", self.users.len());
         let hist_refs: Vec<&[usize]> = self.histories.iter().map(|h| h.as_slice()).collect();
         let cand_refs: Vec<&[usize]> = self.candidates.iter().map(|c| c.as_slice()).collect();
         let scores = model.score_batch(&self.users, &hist_refs, &cand_refs);

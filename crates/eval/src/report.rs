@@ -3,6 +3,15 @@
 use crate::metrics::MetricSet;
 use crate::runner::CellResult;
 
+/// Formats one metric value; failed cells carry NaN, shown as `-`.
+fn fmt_val(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{v:.4}")
+    }
+}
+
 /// Renders a Table-2-style block for one dataset: metrics as rows, models
 /// as columns, best value starred and second-best underlined (text-mode
 /// equivalents of the paper's bold/underline), plus the relative
@@ -36,7 +45,9 @@ pub fn render_table2_block(dataset: &str, cells: &[CellResult]) -> String {
             .filter(|&v| v < best)
             .fold(f64::NEG_INFINITY, f64::max);
         for &v in &vals {
-            if v == best {
+            if v.is_nan() {
+                out.push_str(" - |");
+            } else if v == best {
                 out.push_str(&format!(" **{v:.4}** |"));
             } else if v == second && second.is_finite() {
                 out.push_str(&format!(" _{v:.4}_ |"));
@@ -51,7 +62,7 @@ pub fn render_table2_block(dataset: &str, cells: &[CellResult]) -> String {
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        if best_other > 0.0 {
+        if last.is_finite() && best_other > 0.0 {
             out.push_str(&format!(" {:+.2}% |\n", (last / best_other - 1.0) * 100.0));
         } else {
             out.push_str(" n/a |\n");
@@ -66,8 +77,10 @@ pub fn render_ablation_block(dataset: &str, cells: &[CellResult]) -> String {
     let mut out = format!("### {dataset}\n\n| Variant | HR@10 | NDCG@10 |\n|---|---|---|\n");
     for c in cells {
         out.push_str(&format!(
-            "| {} | {:.4} | {:.4} |\n",
-            c.model, c.metrics.hr10, c.metrics.ndcg10
+            "| {} | {} | {} |\n",
+            c.model,
+            fmt_val(c.metrics.hr10),
+            fmt_val(c.metrics.ndcg10)
         ));
     }
     out
@@ -105,7 +118,21 @@ mod tests {
             },
             final_loss: 0.0,
             seconds: 1.0,
+            error: None,
         }
+    }
+
+    #[test]
+    fn failed_cells_render_as_dashes() {
+        let mut failed = cell("Broken", 0.0);
+        failed.metrics = MetricSet::nan();
+        failed.error = Some("boom".into());
+        let cells = vec![cell("A", 0.2), failed, cell("ISRec", 0.36)];
+        let s = render_table2_block("beauty-like", &cells);
+        assert!(s.contains(" - |"), "{s}");
+        assert!(!s.contains("NaN"), "{s}");
+        let ab = render_ablation_block("d", &cells);
+        assert!(ab.contains("| Broken | - | - |"), "{ab}");
     }
 
     #[test]

@@ -2,8 +2,14 @@
 //! shared protocol; fans whole (dataset × model) grids out over the shared
 //! persistent worker pool (`ist_tensor::pool`) — no threads are spawned
 //! per suite.
+//!
+//! A panic inside one model's train/evaluate pass is confined to its cell:
+//! the cell is reported as failed (NaN metrics, the panic message in
+//! [`CellResult::error`]) and the remaining cells run to completion. Results
+//! are collected through per-stripe slots rather than a shared `Mutex`, so a
+//! worker that unwinds can never poison the collection for the others.
 
-use std::sync::Mutex;
+use std::panic::{self, AssertUnwindSafe};
 
 use isrec_core::TrainConfig;
 use ist_data::{LeaveOneOut, SequentialDataset};
@@ -13,6 +19,9 @@ use crate::metrics::MetricSet;
 use crate::models::ModelSpec;
 use crate::protocol::{EvalProtocol, ProtocolConfig};
 
+/// Cells whose train/evaluate pass panicked instead of completing.
+static FAILED_CELLS: ist_obs::Counter = ist_obs::Counter::new("eval.failed_cells");
+
 /// One (model, dataset) cell of a results table.
 #[derive(Clone, Debug)]
 pub struct CellResult {
@@ -20,12 +29,21 @@ pub struct CellResult {
     pub model: String,
     /// Dataset name.
     pub dataset: String,
-    /// The six reported metrics.
+    /// The six reported metrics (all NaN when the cell failed).
     pub metrics: MetricSet,
-    /// Final training loss (diagnostics).
+    /// Final training loss (diagnostics); NaN when no epoch completed.
     pub final_loss: f32,
     /// Wall-clock training+evaluation seconds.
     pub seconds: f64,
+    /// Panic message when the cell aborted; `None` for a healthy cell.
+    pub error: Option<String>,
+}
+
+impl CellResult {
+    /// True when this cell panicked instead of producing metrics.
+    pub fn failed(&self) -> bool {
+        self.error.is_some()
+    }
 }
 
 /// Trains and evaluates one model spec.
@@ -46,8 +64,64 @@ pub fn run_model(
         model: spec.display_name().to_string(),
         dataset: dataset.name.clone(),
         metrics,
-        final_loss: report.epoch_losses.last().copied().unwrap_or(0.0),
+        final_loss: report.epoch_losses.last().copied().unwrap_or(f32::NAN),
         seconds: start.elapsed().as_secs_f64(),
+        error: None,
+    }
+}
+
+/// Renders a panic payload (`&str` or `String` cover `panic!` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one cell with panic isolation: a panic anywhere inside build, fit,
+/// or evaluate becomes a failed-cell marker instead of unwinding into the
+/// worker (which would abort the rest of the suite and poison shared locks).
+fn run_cell(
+    spec: ModelSpec,
+    dataset: &SequentialDataset,
+    split: &LeaveOneOut,
+    protocol: &EvalProtocol,
+    train: &TrainConfig,
+    max_len: usize,
+) -> CellResult {
+    let start = std::time::Instant::now();
+    let mut span = ist_obs::Span::enter("eval.cell")
+        .field("model", spec.display_name())
+        .field("dataset", dataset.name.as_str());
+    let outcome = panic::catch_unwind(AssertUnwindSafe(|| {
+        run_model(spec, dataset, split, protocol, train, max_len)
+    }));
+    match outcome {
+        Ok(cell) => {
+            span.add_field("status", "ok");
+            cell
+        }
+        Err(payload) => {
+            FAILED_CELLS.add(1);
+            span.add_field("status", "panicked");
+            let msg = panic_message(&*payload);
+            eprintln!(
+                "warning: cell ({}, {}) panicked: {msg}",
+                spec.display_name(),
+                dataset.name
+            );
+            CellResult {
+                model: spec.display_name().to_string(),
+                dataset: dataset.name.clone(),
+                metrics: MetricSet::nan(),
+                final_loss: f32::NAN,
+                seconds: start.elapsed().as_secs_f64(),
+                error: Some(msg),
+            }
+        }
     }
 }
 
@@ -65,29 +139,34 @@ pub fn run_suite(
     let split = LeaveOneOut::split(&dataset.sequences);
     let protocol = EvalProtocol::build(dataset, &split, protocol_cfg);
 
-    let results: Mutex<Vec<(usize, CellResult)>> = Mutex::new(Vec::with_capacity(specs.len()));
     let workers = threads.max(1).min(specs.len().max(1));
+    let mut slots: Vec<Option<Vec<(usize, CellResult)>>> = (0..workers).map(|_| None).collect();
 
     // Deal the grid cells round-robin into `workers` stripes and run the
     // stripes on the persistent pool. Each stripe owns its models end to
-    // end, so nothing `!Send` crosses a thread boundary.
+    // end (nothing `!Send` crosses a thread boundary) and writes into its
+    // own slot, so collection needs no lock and a panicking cell — already
+    // contained by `run_cell` — can never poison shared state.
     let split_ref = &split;
     let protocol_ref = &protocol;
-    let results_ref = &results;
-    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..workers)
-        .map(|w| {
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+        .iter_mut()
+        .enumerate()
+        .map(|(w, slot)| {
             Box::new(move || {
+                let mut stripe = Vec::new();
                 for idx in (w..specs.len()).step_by(workers) {
                     let cell =
-                        run_model(specs[idx], dataset, split_ref, protocol_ref, train, max_len);
-                    results_ref.lock().unwrap().push((idx, cell));
+                        run_cell(specs[idx], dataset, split_ref, protocol_ref, train, max_len);
+                    stripe.push((idx, cell));
                 }
+                *slot = Some(stripe);
             }) as Box<dyn FnOnce() + Send + '_>
         })
         .collect();
     pool::global().run(tasks);
 
-    let mut out = results.into_inner().unwrap();
+    let mut out: Vec<(usize, CellResult)> = slots.into_iter().flatten().flatten().collect();
     out.sort_by_key(|(i, _)| *i);
     out.into_iter().map(|(_, c)| c).collect()
 }

@@ -1,0 +1,65 @@
+//! A panicking model costs its own (model, dataset) cell, never the suite:
+//! the remaining cells complete, results stay in spec order, and the failed
+//! cell carries the panic message with NaN metrics.
+
+use isrec_core::TrainConfig;
+use ist_data::{IntentWorld, WorldConfig};
+use ist_eval::{run_suite, ModelSpec, ProtocolConfig};
+
+fn suite_with_probe(threads: usize) -> Vec<ist_eval::CellResult> {
+    let ds = IntentWorld::new(WorldConfig::epinions_like().scaled(0.12)).generate(5);
+    let train = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::smoke()
+    };
+    let proto = ProtocolConfig {
+        max_users: 15,
+        num_negatives: 30,
+        ..Default::default()
+    };
+    let specs = [ModelSpec::PopRec, ModelSpec::PanicProbe, ModelSpec::Fpmc];
+    run_suite(&specs, &ds, &train, &proto, 10, threads)
+}
+
+#[test]
+fn panicking_cell_does_not_abort_the_suite() {
+    // The unwind is caught per cell; silence the default hook's backtrace
+    // spam for the duration of this test binary.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let cells = suite_with_probe(3);
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(cells.len(), 3, "all cells must be reported");
+    assert_eq!(cells[0].model, "PopRec");
+    assert_eq!(cells[1].model, "PanicProbe");
+    assert_eq!(cells[2].model, "FPMC");
+
+    // The probe's failure is attributed to its own cell…
+    assert!(cells[1].failed());
+    let msg = cells[1].error.as_deref().unwrap();
+    assert!(msg.contains("deliberate training failure"), "got: {msg}");
+    assert!(cells[1].final_loss.is_nan());
+    assert!(cells[1].metrics.hr10.is_nan());
+
+    // …while its neighbours trained and evaluated normally.
+    for healthy in [&cells[0], &cells[2]] {
+        assert!(!healthy.failed(), "{} should be healthy", healthy.model);
+        assert!(healthy.metrics.hr10.is_finite());
+        assert!((0.0..=1.0).contains(&healthy.metrics.hr10));
+    }
+}
+
+#[test]
+fn panicking_cell_is_isolated_on_a_single_worker_too() {
+    // threads=1 runs every cell on one pool stripe: a poisoned collection
+    // or unwinding stripe would lose the trailing FPMC cell.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let cells = suite_with_probe(1);
+    std::panic::set_hook(prev_hook);
+
+    assert_eq!(cells.len(), 3);
+    assert!(cells[1].failed());
+    assert!(!cells[0].failed() && !cells[2].failed());
+}

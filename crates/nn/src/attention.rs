@@ -21,6 +21,10 @@ use crate::Ctx;
 /// Large negative used as the additive mask "−∞".
 const NEG_INF: f32 = -1e9;
 
+/// Aggregate attention timing (env-gated; see `ist-obs`). Units are tokens
+/// (`B·T`), so the summary reports tokens-per-second forward throughput.
+static ATTN_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("nn.attention", "tok");
+
 /// Builds the additive attention mask `[B, T, T]`.
 ///
 /// `pad[b·T + k] == true` marks position `k` of sequence `b` as padding:
@@ -105,6 +109,7 @@ impl MultiHeadSelfAttention {
     ) -> Var {
         debug_assert_eq!(x.shape(), vec![batch * len, self.d]);
         debug_assert_eq!(mask.shape(), &[batch, len, len]);
+        let _timing = ATTN_TIMER.start_with((batch * len) as u64);
         let mask_var = ctx.tape.constant(mask.clone());
         let scale = 1.0 / (self.dh as f32).sqrt();
 

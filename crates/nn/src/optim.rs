@@ -9,6 +9,10 @@
 use ist_autograd::Param;
 use ist_tensor::{ops as t, Tensor};
 
+/// Aggregate optimizer-step timing (env-gated; see `ist-obs`). Units are
+/// parameter elements updated, so the summary reports params-per-second.
+static ADAM_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("nn.adam_step", "param");
+
 /// The *global* L2 norm over all gradients (read-only; the quantity
 /// [`clip_grad_norm`] clips, also the trainer's numerical-health probe).
 pub fn grad_norm(params: &[Param]) -> f32 {
@@ -118,13 +122,16 @@ pub struct Adam {
     t_step: u64,
     m: Vec<Tensor>,
     v: Vec<Tensor>,
+    /// Total parameter elements, cached for the step-throughput probe.
+    n_elems: u64,
 }
 
 impl Adam {
     /// Adam with the conventional (0.9, 0.999, 1e-8) defaults.
     pub fn new(params: Vec<Param>, lr: f32, weight_decay: f32) -> Self {
-        let m = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let m: Vec<Tensor> = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
         let v = params.iter().map(|p| Tensor::zeros(&p.shape())).collect();
+        let n_elems = m.iter().map(|t| t.len() as u64).sum();
         Adam {
             params,
             lr,
@@ -135,11 +142,13 @@ impl Adam {
             t_step: 0,
             m,
             v,
+            n_elems,
         }
     }
 
     /// Applies one update and clears gradients.
     pub fn step(&mut self) {
+        let _timing = ADAM_TIMER.start_with(self.n_elems);
         self.t_step += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t_step as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t_step as i32);

@@ -1,0 +1,801 @@
+//! # ist-obs
+//!
+//! Zero-dependency observability for the ISRec workspace: RAII spans,
+//! atomic counters/gauges, and aggregating timers behind one global
+//! registry, emitted as JSON-lines and/or a human-readable end-of-run
+//! summary table.
+//!
+//! ## Cost model
+//!
+//! Telemetry is **off by default** and env-gated: set `IST_METRICS=json`
+//! (machine-readable JSON-lines) or `IST_METRICS=summary` (end-of-run
+//! table) to enable it. The disabled path is designed to vanish in hot
+//! loops: every instrumentation entry point ([`Counter::add`],
+//! [`Timer::start`], [`Span::enter`], [`Gauge::set`]) starts with a single
+//! branch on one relaxed atomic load ([`enabled`]) and returns immediately
+//! — no clock read, no allocation, no locking. Registration of the static
+//! handles happens lazily on *first enabled use*, so a disabled process
+//! never touches the registry at all.
+//!
+//! ## Instrument granularity
+//!
+//! Two kinds of timing exist on purpose:
+//!
+//! * [`Timer`] — a static, *aggregating* accumulator (count, total time,
+//!   optional work units such as FLOPs). Hot operations (GEMM, softmax,
+//!   optimizer steps) record into timers; nothing is emitted per call, and
+//!   [`flush`] reports the aggregate once (with a derived `rate_per_s`
+//!   throughput, e.g. GFLOP/s for a timer whose unit is `flop`).
+//! * [`Span`] — an RAII scope that *emits one JSON line on drop* (in
+//!   `json` mode) and feeds the same aggregate table. Use spans for coarse
+//!   events worth a line each: a training epoch, a checkpoint write, an
+//!   eval-protocol pass, one (model, dataset) suite cell.
+//!
+//! ## Output
+//!
+//! JSON-lines go to the sink: `IST_METRICS_OUT=<path>` (or
+//! [`set_output_path`] / the CLI's `--metrics-out`) writes to a file,
+//! otherwise lines land on stderr. Every line is a single JSON object with
+//! either a `"span"` + `"elapsed_us"` pair or a `"counter"` + `"value"`
+//! pair; extra fields ride alongside. Call [`flush`] once at the end of a
+//! run to emit timer/counter aggregates (json mode) or render the summary
+//! table (summary mode, to stderr).
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Telemetry mode, resolved once from `IST_METRICS` (or forced with
+/// [`set_mode`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// No telemetry (default): every probe is a single relaxed-load branch.
+    Off,
+    /// Emit JSON-lines to the sink as spans close; `flush` appends
+    /// aggregate timer/counter lines.
+    Json,
+    /// Aggregate only; `flush` renders a human-readable table to stderr.
+    Summary,
+}
+
+const MODE_UNINIT: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_JSON: u8 = 2;
+const MODE_SUMMARY: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+/// Current mode; initialises from the environment on first call.
+#[inline]
+pub fn mode() -> Mode {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_OFF => Mode::Off,
+        MODE_JSON => Mode::Json,
+        MODE_SUMMARY => Mode::Summary,
+        _ => init_mode_from_env(),
+    }
+}
+
+/// True when any telemetry mode is active. The steady-state disabled path
+/// is one relaxed atomic load plus a compare.
+#[inline]
+pub fn enabled() -> bool {
+    !matches!(mode(), Mode::Off)
+}
+
+/// Forces the mode programmatically (CLI flags, benchmarks, tests). Safe to
+/// call at any point; instrumentation picks the new mode up on the next
+/// probe.
+pub fn set_mode(mode: Mode) {
+    let raw = match mode {
+        Mode::Off => MODE_OFF,
+        Mode::Json => MODE_JSON,
+        Mode::Summary => MODE_SUMMARY,
+    };
+    MODE.store(raw, Ordering::Relaxed);
+}
+
+#[cold]
+fn init_mode_from_env() -> Mode {
+    let resolved = match std::env::var("IST_METRICS") {
+        Ok(v) => match v.trim() {
+            "json" => Mode::Json,
+            "summary" => Mode::Summary,
+            "" | "off" | "0" => Mode::Off,
+            other => {
+                eprintln!(
+                    "warning: unknown IST_METRICS={other:?} (expected json|summary|off); \
+                     metrics stay off"
+                );
+                Mode::Off
+            }
+        },
+        Err(_) => Mode::Off,
+    };
+    set_mode(resolved);
+    resolved
+}
+
+// ---------------------------------------------------------------------------
+// Registry & sink
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SpanStat {
+    count: u64,
+    total_ns: u64,
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<&'static Counter>,
+    gauges: Vec<&'static Gauge>,
+    timers: Vec<&'static Timer>,
+    spans: BTreeMap<&'static str, SpanStat>,
+}
+
+/// Locks an observability mutex, tolerating poisoning: telemetry must never
+/// cascade a panic elsewhere in the process into a second failure here.
+fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
+}
+
+enum SinkTarget {
+    Stderr,
+    Writer(Box<dyn Write + Send>),
+}
+
+fn sink() -> &'static Mutex<SinkTarget> {
+    static SINK: OnceLock<Mutex<SinkTarget>> = OnceLock::new();
+    SINK.get_or_init(|| {
+        let target = match std::env::var("IST_METRICS_OUT") {
+            Ok(path) if !path.trim().is_empty() => match std::fs::File::create(path.trim()) {
+                Ok(f) => SinkTarget::Writer(Box::new(f)),
+                Err(e) => {
+                    eprintln!("warning: cannot open IST_METRICS_OUT={path:?}: {e}; using stderr");
+                    SinkTarget::Stderr
+                }
+            },
+            _ => SinkTarget::Stderr,
+        };
+        Mutex::new(target)
+    })
+}
+
+/// Redirects JSON-lines output to an arbitrary writer (tests, in-memory
+/// capture).
+pub fn set_output(writer: Box<dyn Write + Send>) {
+    *lock_tolerant(sink()) = SinkTarget::Writer(writer);
+}
+
+/// Redirects JSON-lines output to a file (the CLI's `--metrics-out`).
+pub fn set_output_path(path: &str) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| format!("create {path:?}: {e}"))?;
+    set_output(Box::new(f));
+    Ok(())
+}
+
+fn emit_line(line: &str) {
+    match &mut *lock_tolerant(sink()) {
+        SinkTarget::Stderr => eprintln!("{line}"),
+        SinkTarget::Writer(w) => {
+            // Telemetry write failures must never take the run down.
+            let _ = writeln!(w, "{line}");
+            let _ = w.flush();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counter & Gauge
+// ---------------------------------------------------------------------------
+
+/// A named monotonically increasing atomic counter. Declare as a `static`
+/// and call [`Counter::add`]; the handle self-registers on first enabled
+/// use.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Adds `n`; a no-op (one relaxed-load branch) when telemetry is off.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock_tolerant(registry()).counters.push(self);
+        }
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named last-value-wins gauge (e.g. configured pool size).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// Const constructor for `static` declarations.
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Stores `v`; a no-op when telemetry is off.
+    #[inline]
+    pub fn set(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock_tolerant(registry()).gauges.push(self);
+        }
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer (aggregating hot-path probe)
+// ---------------------------------------------------------------------------
+
+/// A static aggregating timer for hot operations: accumulates call count,
+/// total nanoseconds and optional work units (FLOPs, elements, parameters)
+/// without emitting anything per call. [`flush`] reports the aggregate with
+/// a derived `rate_per_s` (units per second — GFLOP/s when the unit is
+/// `flop`).
+pub struct Timer {
+    name: &'static str,
+    unit: &'static str,
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    units: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Timer {
+    /// Const constructor without a work unit.
+    pub const fn new(name: &'static str) -> Timer {
+        Timer::with_unit(name, "")
+    }
+
+    /// Const constructor with a work-unit label (`"flop"`, `"elem"`, …).
+    pub const fn with_unit(name: &'static str, unit: &'static str) -> Timer {
+        Timer {
+            name,
+            unit,
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            units: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Starts timing one call; the guard records on drop. Inert (no clock
+    /// read) when telemetry is off.
+    #[inline]
+    pub fn start(&'static self) -> TimerGuard {
+        self.start_with(0)
+    }
+
+    /// Starts timing one call that performs `units` units of work.
+    #[inline]
+    pub fn start_with(&'static self, units: u64) -> TimerGuard {
+        if !enabled() {
+            return TimerGuard(None);
+        }
+        TimerGuard(Some((self, Instant::now(), units)))
+    }
+
+    fn record(&'static self, ns: u64, units: u64) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock_tolerant(registry()).timers.push(self);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        if units > 0 {
+            self.units.fetch_add(units, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of recorded calls.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Total recorded work units.
+    pub fn units(&self) -> u64 {
+        self.units.load(Ordering::Relaxed)
+    }
+}
+
+/// RAII guard returned by [`Timer::start`]; records elapsed time on drop.
+pub struct TimerGuard(Option<(&'static Timer, Instant, u64)>);
+
+impl Drop for TimerGuard {
+    fn drop(&mut self) {
+        if let Some((timer, start, units)) = self.0.take() {
+            timer.record(start.elapsed().as_nanos() as u64, units);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span (event-emitting RAII scope)
+// ---------------------------------------------------------------------------
+
+/// One JSON field value carried by a [`Span`].
+#[derive(Clone, Debug)]
+pub enum Field {
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point (non-finite values serialise as `null`).
+    F64(f64),
+    /// String (JSON-escaped on emission).
+    Str(String),
+}
+
+impl From<u64> for Field {
+    fn from(v: u64) -> Field {
+        Field::U64(v)
+    }
+}
+impl From<usize> for Field {
+    fn from(v: usize) -> Field {
+        Field::U64(v as u64)
+    }
+}
+impl From<f64> for Field {
+    fn from(v: f64) -> Field {
+        Field::F64(v)
+    }
+}
+impl From<f32> for Field {
+    fn from(v: f32) -> Field {
+        Field::F64(v as f64)
+    }
+}
+impl From<&str> for Field {
+    fn from(v: &str) -> Field {
+        Field::Str(v.to_string())
+    }
+}
+impl From<String> for Field {
+    fn from(v: String) -> Field {
+        Field::Str(v)
+    }
+}
+
+struct SpanInner {
+    name: &'static str,
+    start: Instant,
+    fields: Vec<(&'static str, Field)>,
+}
+
+/// An RAII scope: in `json` mode, dropping the span emits one line
+/// `{"span": <name>, "elapsed_us": <n>, …fields}`; in every enabled mode
+/// the elapsed time also feeds the aggregate summary. Inert when telemetry
+/// is off.
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Opens a span. Inert (no clock read, no allocation) when telemetry
+    /// is off.
+    #[inline]
+    pub fn enter(name: &'static str) -> Span {
+        if !enabled() {
+            return Span { inner: None };
+        }
+        Span {
+            inner: Some(SpanInner {
+                name,
+                start: Instant::now(),
+                fields: Vec::new(),
+            }),
+        }
+    }
+
+    /// Attaches a field (builder style).
+    pub fn field(mut self, key: &'static str, value: impl Into<Field>) -> Span {
+        self.add_field(key, value);
+        self
+    }
+
+    /// Attaches a field to an open span (for values only known at scope
+    /// end).
+    pub fn add_field(&mut self, key: &'static str, value: impl Into<Field>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// True when telemetry is on and the span will record.
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Seconds since the span opened (0.0 when inert).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.inner
+            .as_ref()
+            .map(|i| i.start.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.inner.take() else {
+            return;
+        };
+        let ns = inner.start.elapsed().as_nanos() as u64;
+        {
+            let mut reg = lock_tolerant(registry());
+            let stat = reg.spans.entry(inner.name).or_default();
+            stat.count += 1;
+            stat.total_ns += ns;
+        }
+        if mode() == Mode::Json {
+            let mut line = format!(
+                "{{\"span\":{},\"elapsed_us\":{}",
+                json_string(inner.name),
+                ns / 1_000
+            );
+            for (key, value) in &inner.fields {
+                line.push_str(&format!(",{}:{}", json_string(key), json_value(value)));
+            }
+            line.push('}');
+            emit_line(&line);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON helpers
+// ---------------------------------------------------------------------------
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(f: &Field) -> String {
+    match f {
+        Field::U64(v) => v.to_string(),
+        Field::F64(v) if v.is_finite() => format!("{v:.6}"),
+        Field::F64(_) => "null".to_string(),
+        Field::Str(s) => json_string(s),
+    }
+}
+
+fn timer_json(t: &Timer) -> String {
+    let total_ns = t.total_ns();
+    let mut line = format!(
+        "{{\"span\":{},\"elapsed_us\":{},\"count\":{}",
+        json_string(t.name),
+        total_ns / 1_000,
+        t.count()
+    );
+    let units = t.units();
+    if units > 0 {
+        line.push_str(&format!(
+            ",\"units\":{units},\"unit\":{}",
+            json_string(t.unit)
+        ));
+        if total_ns > 0 {
+            let rate = units as f64 / (total_ns as f64 / 1e9);
+            line.push_str(&format!(",\"rate_per_s\":{rate:.1}"));
+        }
+    }
+    line.push('}');
+    line
+}
+
+fn counter_json(name: &str, value: u64) -> String {
+    format!("{{\"counter\":{},\"value\":{value}}}", json_string(name))
+}
+
+// ---------------------------------------------------------------------------
+// Flush & summary
+// ---------------------------------------------------------------------------
+
+/// Aggregate JSON object strings for every timer, counter and gauge with
+/// recorded activity — for embedding in bespoke reports (the bench
+/// binaries' `BENCH_*.json`).
+pub fn snapshot_json() -> Vec<String> {
+    let reg = lock_tolerant(registry());
+    let mut out = Vec::new();
+    for t in reg.timers.iter().filter(|t| t.count() > 0) {
+        out.push(timer_json(t));
+    }
+    for c in &reg.counters {
+        out.push(counter_json(c.name, c.get()));
+    }
+    for g in &reg.gauges {
+        out.push(counter_json(g.name, g.get()));
+    }
+    out
+}
+
+/// Emits end-of-run output: in `json` mode, one aggregate line per timer
+/// plus one per counter/gauge (spans were already emitted as they closed);
+/// in `summary` mode, a human-readable table on stderr. No-op when
+/// telemetry is off. Call once at the end of a binary.
+pub fn flush() {
+    match mode() {
+        Mode::Off => {}
+        Mode::Json => {
+            for line in snapshot_json() {
+                emit_line(&line);
+            }
+        }
+        Mode::Summary => {
+            eprint!("{}", render_summary());
+        }
+    }
+}
+
+/// Renders the aggregate table (what `summary` mode prints on [`flush`]).
+pub fn render_summary() -> String {
+    let reg = lock_tolerant(registry());
+    let mut out = String::from("\n── ist-obs summary ──────────────────────────────────────────\n");
+    if !reg.spans.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>12}\n",
+            "span", "count", "total ms", "mean µs"
+        ));
+        for (name, stat) in reg.spans.iter() {
+            let total_ms = stat.total_ns as f64 / 1e6;
+            let mean_us = stat.total_ns as f64 / 1e3 / stat.count.max(1) as f64;
+            out.push_str(&format!(
+                "{name:<28} {:>8} {total_ms:>12.3} {mean_us:>12.1}\n",
+                stat.count
+            ));
+        }
+    }
+    let timers: Vec<&&Timer> = reg.timers.iter().filter(|t| t.count() > 0).collect();
+    if !timers.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>12} {:>12} {:>16}\n",
+            "timer", "count", "total ms", "mean µs", "throughput"
+        ));
+        for t in timers {
+            let total_ms = t.total_ns() as f64 / 1e6;
+            let mean_us = t.total_ns() as f64 / 1e3 / t.count().max(1) as f64;
+            let rate = if t.units() > 0 && t.total_ns() > 0 {
+                let per_s = t.units() as f64 / (t.total_ns() as f64 / 1e9);
+                format!("{:.3e} {}/s", per_s, t.unit)
+            } else {
+                "-".to_string()
+            };
+            out.push_str(&format!(
+                "{:<28} {:>8} {total_ms:>12.3} {mean_us:>12.1} {rate:>16}\n",
+                t.name,
+                t.count()
+            ));
+        }
+    }
+    if !reg.counters.is_empty() || !reg.gauges.is_empty() {
+        out.push_str(&format!("{:<28} {:>8}\n", "counter", "value"));
+        for c in &reg.counters {
+            out.push_str(&format!("{:<28} {:>8}\n", c.name, c.get()));
+        }
+        for g in &reg.gauges {
+            out.push_str(&format!("{:<28} {:>8}\n", g.name, g.get()));
+        }
+    }
+    out
+}
+
+/// Clears every aggregate (counters, gauges, timers, span stats). Intended
+/// for tests that assert on freshly collected values.
+pub fn reset() {
+    let mut reg = lock_tolerant(registry());
+    for c in &reg.counters {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in &reg.gauges {
+        g.value.store(0, Ordering::Relaxed);
+    }
+    for t in &reg.timers {
+        t.count.store(0, Ordering::Relaxed);
+        t.total_ns.store(0, Ordering::Relaxed);
+        t.units.store(0, Ordering::Relaxed);
+    }
+    reg.spans.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// The mode is process-global; serialise tests that flip it.
+    fn mode_lock() -> MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        lock_tolerant(LOCK.get_or_init(|| Mutex::new(())))
+    }
+
+    /// A sink capture usable across the `Box<dyn Write + Send>` boundary.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            lock_tolerant(&self.0).extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(lock_tolerant(&self.0).clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn disabled_probes_are_inert() {
+        let _guard = mode_lock();
+        set_mode(Mode::Off);
+        static C: Counter = Counter::new("test.inert_counter");
+        static T: Timer = Timer::new("test.inert_timer");
+        C.add(5);
+        {
+            let _g = T.start_with(100);
+        }
+        let span = Span::enter("test.inert_span");
+        assert!(!span.active());
+        assert_eq!(span.elapsed_secs(), 0.0);
+        drop(span);
+        assert_eq!(C.get(), 0);
+        assert_eq!(T.count(), 0);
+    }
+
+    #[test]
+    fn counters_and_timers_aggregate_when_enabled() {
+        let _guard = mode_lock();
+        set_mode(Mode::Summary);
+        static C: Counter = Counter::new("test.counter");
+        static G: Gauge = Gauge::new("test.gauge");
+        static T: Timer = Timer::with_unit("test.timer", "elem");
+        reset();
+        C.add(2);
+        C.add(3);
+        G.set(7);
+        G.set(9);
+        {
+            let _g = T.start_with(1000);
+        }
+        assert_eq!(C.get(), 5);
+        assert_eq!(G.get(), 9);
+        assert_eq!(T.count(), 1);
+        assert_eq!(T.units(), 1000);
+        let table = render_summary();
+        assert!(table.contains("test.counter"), "{table}");
+        assert!(table.contains("test.timer"), "{table}");
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn spans_emit_parseable_json_lines() {
+        let _guard = mode_lock();
+        set_mode(Mode::Json);
+        let buf = SharedBuf::default();
+        set_output(Box::new(buf.clone()));
+        reset();
+        {
+            let _span = Span::enter("test.span")
+                .field("epoch", 3u64)
+                .field("loss", 1.25f64)
+                .field("model", "quoted \"name\"\n");
+        }
+        flush();
+        set_mode(Mode::Off);
+        let text = buf.contents();
+        let span_line = text
+            .lines()
+            .find(|l| l.contains("\"test.span\""))
+            .expect("span line emitted");
+        assert!(span_line.starts_with("{\"span\":\"test.span\",\"elapsed_us\":"));
+        assert!(span_line.contains("\"epoch\":3"));
+        assert!(span_line.contains("\"loss\":1.250000"));
+        assert!(span_line.contains("\\\"name\\\"\\n"), "{span_line}");
+        assert!(span_line.ends_with('}'));
+    }
+
+    #[test]
+    fn flush_emits_timer_and_counter_aggregates() {
+        let _guard = mode_lock();
+        set_mode(Mode::Json);
+        let buf = SharedBuf::default();
+        set_output(Box::new(buf.clone()));
+        reset();
+        static T: Timer = Timer::with_unit("test.flush_timer", "flop");
+        static C: Counter = Counter::new("test.flush_counter");
+        {
+            let _g = T.start_with(1_000_000);
+        }
+        C.add(42);
+        flush();
+        set_mode(Mode::Off);
+        let text = buf.contents();
+        let timer_line = text
+            .lines()
+            .find(|l| l.contains("test.flush_timer"))
+            .expect("timer aggregate emitted");
+        assert!(timer_line.contains("\"count\":1"));
+        assert!(timer_line.contains("\"units\":1000000"));
+        assert!(timer_line.contains("\"rate_per_s\":"));
+        let counter_line = text
+            .lines()
+            .find(|l| l.contains("test.flush_counter"))
+            .expect("counter aggregate emitted");
+        assert!(counter_line.contains("\"value\":42"));
+    }
+
+    #[test]
+    fn json_escaping_covers_control_chars() {
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_value(&Field::F64(f64::NAN)), "null");
+        assert_eq!(json_value(&Field::U64(7)), "7");
+    }
+}

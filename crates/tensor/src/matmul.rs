@@ -20,6 +20,12 @@
 use crate::pool;
 use crate::Tensor;
 
+/// Aggregate GEMM telemetry: total multiply-add work feeds a GFLOP/s rate
+/// in the `ist-obs` summary (near-zero cost while `IST_METRICS` is unset).
+static GEMM_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.gemm", "flop");
+static BMM_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.bmm", "flop");
+static MATVEC_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.matvec", "flop");
+
 /// Columns of `b` packed per panel (`NC · KC` floats ≈ 64 KiB, L2-resident).
 const NC: usize = 64;
 /// Rows of `b` (depth) packed per panel.
@@ -220,6 +226,7 @@ pub fn matmul_in(pool: &pool::ThreadPool, a: &Tensor, b: &Tensor) -> Tensor {
 
     let mut out = vec![0.0f32; m * n];
     let flops = m * n * k;
+    let _timing = GEMM_TIMER.start_with(2 * flops as u64);
     let threads = pool.threads();
     let parallel = threads > 1 && flops >= pool::gemm_grain().saturating_mul(threads) && m >= 2;
     if !parallel {
@@ -253,6 +260,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     assert_eq!(k, x.shape()[0]);
     let mut out = vec![0.0f32; m];
+    let _timing = MATVEC_TIMER.start_with(2 * (m * k) as u64);
     let a_data = a.data();
     let x_data = x.data();
     let dot_rows = |row0: usize, out_chunk: &mut [f32]| {
@@ -286,6 +294,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let pool = pool::global();
     let threads = pool.threads();
     let flops = ba * m * n * k;
+    let _timing = BMM_TIMER.start_with(2 * flops as u64);
     let a_data = a.data();
     let b_data = b.data();
     let run_batches = |b0: usize, out_chunk: &mut [f32]| {

@@ -28,6 +28,15 @@ use std::time::Duration;
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send>;
 
+/// Pool telemetry (`ist-obs`, env-gated): fan-out calls, tasks enqueued,
+/// and how many queued jobs the *blocked caller* executed while waiting —
+/// `pool.helped_jobs / pool.tasks` is a direct utilisation signal (a high
+/// ratio means the workers were saturated and the caller did the work).
+static POOL_RUNS: ist_obs::Counter = ist_obs::Counter::new("pool.runs");
+static POOL_TASKS: ist_obs::Counter = ist_obs::Counter::new("pool.tasks");
+static POOL_HELPED: ist_obs::Counter = ist_obs::Counter::new("pool.helped_jobs");
+static POOL_THREADS: ist_obs::Gauge = ist_obs::Gauge::new("pool.threads");
+
 struct Shared {
     queue: Mutex<VecDeque<Job>>,
     /// Signalled when jobs are enqueued.
@@ -103,6 +112,8 @@ impl ThreadPool {
         if tasks.is_empty() {
             return;
         }
+        POOL_RUNS.add(1);
+        POOL_TASKS.add(tasks.len() as u64);
         let latch = Arc::new(Latch::new(tasks.len()));
         {
             let mut q = self.shared.queue.lock().expect("pool queue poisoned");
@@ -138,7 +149,10 @@ impl ThreadPool {
                 .expect("pool queue poisoned")
                 .pop_front();
             match job {
-                Some(job) => job(),
+                Some(job) => {
+                    POOL_HELPED.add(1);
+                    job();
+                }
                 None => {
                     let guard = latch.done.lock().expect("latch poisoned");
                     if !*guard {
@@ -179,7 +193,11 @@ fn worker_loop(shared: &Shared) {
 /// The lazily-initialised global pool shared by all tensor ops.
 pub fn global() -> &'static ThreadPool {
     static POOL: OnceLock<ThreadPool> = OnceLock::new();
-    POOL.get_or_init(|| ThreadPool::new(configured_threads()))
+    POOL.get_or_init(|| {
+        let pool = ThreadPool::new(configured_threads());
+        POOL_THREADS.set(pool.threads() as u64);
+        pool
+    })
 }
 
 /// Pool size: `IST_THREADS` override, else `available_parallelism` capped

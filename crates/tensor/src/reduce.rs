@@ -11,6 +11,12 @@
 use crate::pool;
 use crate::Tensor;
 
+/// Aggregate timing for the two row-reduction hot paths (env-gated; see
+/// `ist-obs`). Units are elements processed, so the summary reports an
+/// elements-per-second throughput.
+static SOFTMAX_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.softmax", "elem");
+static ROWSUM_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.row_sum", "elem");
+
 /// Fixed partial-sum chunk length for [`sum`]. Independent of the pool
 /// size by design: the serial and parallel paths produce the exact same
 /// sequence of partials, so changing `IST_THREADS` cannot change the sum.
@@ -79,6 +85,7 @@ fn rows_of(t: &Tensor) -> (usize, usize) {
 /// tensor with the leading shape preserved).
 pub fn sum_lastdim(t: &Tensor) -> Tensor {
     let (rows, n) = rows_of(t);
+    let _timing = ROWSUM_TIMER.start_with(t.len() as u64);
     let data = t.data();
     let mut out = vec![0.0f32; rows];
     for_row_blocks(&mut out, 1, t.len(), |r0, slots| {
@@ -102,6 +109,7 @@ pub fn mean_lastdim(t: &Tensor) -> Tensor {
 /// Row-wise numerically stable softmax along the last axis.
 pub fn softmax_lastdim(t: &Tensor) -> Tensor {
     let (_, n) = rows_of(t);
+    let _timing = SOFTMAX_TIMER.start_with(t.len() as u64);
     let data = t.data();
     let mut out = vec![0.0f32; t.len()];
     for_row_blocks(&mut out, n, t.len(), |r0, chunk| {

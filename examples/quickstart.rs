@@ -6,6 +6,7 @@
 //! ```
 
 use isrec_suite::data::{IntentWorld, LeaveOneOut, WorldConfig};
+use isrec_suite::eval::{EvalProtocol, ProtocolConfig};
 use isrec_suite::isrec::{
     explain, CheckpointConfig, Isrec, IsrecConfig, SequentialRecommender, TrainConfig,
 };
@@ -59,10 +60,30 @@ fn main() {
         report.epoch_losses.last().unwrap()
     );
 
-    // 4. Recommend — with the intermediate intents that explain it.
+    // 4. Rank under the leave-one-out + negatives protocol (§4.2.1) on a
+    //    user subsample, to show where the headline metrics come from.
+    let proto = EvalProtocol::build(
+        &dataset,
+        &split,
+        &ProtocolConfig {
+            max_users: 100,
+            ..Default::default()
+        },
+    );
+    let metrics = proto.evaluate(&model);
+    println!("\nranking metrics over {} users:", proto.len());
+    for (name, value) in metrics.named() {
+        println!("  {name:<8} {value:.4}");
+    }
+
+    // 5. Recommend — with the intermediate intents that explain it.
     let user = split.test_users()[0];
     let history = split.test_history(user);
     let trace = explain::explain(&model, &dataset, &history, 5);
     println!("\nexplained recommendation for user {user}:");
     print!("{}", explain::render_trace(&trace, &dataset));
+
+    // With IST_METRICS=json|summary set, drain the telemetry collected
+    // across training and evaluation (a no-op when disabled).
+    isrec_suite::obs::flush();
 }

@@ -12,6 +12,11 @@
 //! isrec explain  --data data/beauty --snapshot model.bin [--user 0] [--top 5]
 //! ```
 //!
+//! Every subcommand accepts `--metrics-out <path>`: telemetry (spans,
+//! counters, throughput) is written there as JSON lines, as if
+//! `IST_METRICS=json IST_METRICS_OUT=<path>` had been set. See README
+//! §Observability.
+//!
 //! `import` accepts `user,item,timestamp` (comma or tab separated) logs —
 //! the path for running the model on *real* datasets.
 
@@ -253,6 +258,17 @@ run with a subcommand; see the module docs at the top of src/bin/isrec.rs";
 
 fn main() -> ExitCode {
     let args = Args::parse();
+    if let Some(path) = args.get("metrics-out") {
+        if let Err(e) = isrec_suite::obs::set_output_path(path) {
+            eprintln!("error: --metrics-out: {e}");
+            return ExitCode::FAILURE;
+        }
+        // The flag implies JSON telemetry unless IST_METRICS already chose
+        // a mode explicitly.
+        if !isrec_suite::obs::enabled() {
+            isrec_suite::obs::set_mode(isrec_suite::obs::Mode::Json);
+        }
+    }
     let Some(cmd) = args.positional.first().map(|s| s.as_str()) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -266,6 +282,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args),
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     };
+    isrec_suite::obs::flush();
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(msg) => {
