@@ -14,6 +14,7 @@ use crate::tape::Var;
 ///
 /// Backward: `dx = (g - ⟨g, y⟩) ⊙ y` per row, where `y` is the output.
 pub fn softmax_lastdim(a: &Var) -> Var {
+    let _p = crate::profile::fwd("softmax_lastdim");
     let out = reduce::softmax_lastdim(&a.value());
     let y = out.clone();
     a.tape().clone().push_node(
@@ -45,6 +46,7 @@ fn softmax_backward(g: &Tensor, y: &Tensor, tau: f32) -> Tensor {
 ///
 /// Backward: `dx = g - softmax(x) · Σ g` per row.
 pub fn log_softmax_lastdim(a: &Var) -> Var {
+    let _p = crate::profile::fwd("log_softmax_lastdim");
     let av = a.value();
     let out = reduce::log_softmax_lastdim(&av);
     let y = reduce::softmax_lastdim(&av);
@@ -75,6 +77,7 @@ pub fn log_softmax_lastdim(a: &Var) -> Var {
 /// weight `weights[r]` (0 for padded positions). The loss is the weighted
 /// mean `Σ w_r · (-log p_r[t_r]) / Σ w_r`.
 pub fn cross_entropy_rows(logits: &Var, targets: &[usize], weights: &[f32]) -> Var {
+    let _p = crate::profile::fwd("cross_entropy_rows");
     let lv = logits.value();
     assert_eq!(lv.rank(), 2, "cross_entropy_rows expects [rows, classes]");
     let (rows, classes) = (lv.shape()[0], lv.shape()[1]);
@@ -132,6 +135,7 @@ pub fn cross_entropy_rows(logits: &Var, targets: &[usize], weights: &[f32]) -> V
 ///
 /// `x` is `[..., n]`, `gamma` and `beta` are `[n]`.
 pub fn layer_norm_rows(x: &Var, gamma: &Var, beta: &Var, eps: f32) -> Var {
+    let _p = crate::profile::fwd("layer_norm_rows");
     let xv = x.value();
     let gv = gamma.value();
     let bv = beta.value();
@@ -200,6 +204,7 @@ pub fn layer_norm_rows(x: &Var, gamma: &Var, beta: &Var, eps: f32) -> Var {
 /// Norms are clamped below by `1e-8` to keep gradients finite near zero.
 #[allow(clippy::needless_range_loop)] // index math mirrors the adjoint formulas
 pub fn cosine_similarity_rows(x: &Var, c: &Var) -> Var {
+    let _p = crate::profile::fwd("cosine_similarity_rows");
     let xv = x.value();
     let cv = c.value();
     assert_eq!(xv.rank(), 2);
@@ -318,6 +323,7 @@ pub fn gumbel_topk_st(
     rng: &mut SeedRng,
     deterministic: bool,
 ) -> GumbelTopK {
+    let _p = crate::profile::fwd("gumbel_topk_st");
     let sv = scores.value();
     assert_eq!(sv.rank(), 2, "gumbel_topk_st expects [rows, K] scores");
     assert!(tau > 0.0);
@@ -357,6 +363,7 @@ pub fn gumbel_topk_st(
 /// Backward routes each column's gradient to its (first) argmax row.
 #[allow(clippy::needless_range_loop)]
 pub fn max_over_rows(a: &Var) -> Var {
+    let _p = crate::profile::fwd("max_over_rows");
     let av = a.value();
     assert_eq!(av.rank(), 2);
     let (r, c) = (av.shape()[0], av.shape()[1]);
@@ -391,6 +398,7 @@ pub fn max_over_rows(a: &Var) -> Var {
 /// Window `w` is the concatenation of rows `w .. w+h`. This turns Caser's
 /// horizontal convolutions into a single GEMM.
 pub fn unfold_rows(a: &Var, h: usize) -> Var {
+    let _p = crate::profile::fwd("unfold_rows");
     let av = a.value();
     assert_eq!(av.rank(), 2);
     let (rows, d) = (av.shape()[0], av.shape()[1]);
@@ -421,6 +429,7 @@ pub fn unfold_rows(a: &Var, h: usize) -> Var {
 /// `L` rows and unfolds each into windows of `h` rows, giving
 /// `[B·(L-h+1), h·d]`. Windows never cross sequence boundaries.
 pub fn unfold_rows_batched(a: &Var, batch: usize, len: usize, h: usize) -> Var {
+    let _p = crate::profile::fwd("unfold_rows_batched");
     let av = a.value();
     assert_eq!(av.rank(), 2);
     assert_eq!(av.shape()[0], batch * len, "rows must equal batch·len");
@@ -458,6 +467,7 @@ pub fn unfold_rows_batched(a: &Var, batch: usize, len: usize, h: usize) -> Var {
 /// Max over each consecutive segment of `seg` rows: `[B·seg, C] → [B, C]`.
 /// Backward routes each (segment, column) gradient to its argmax row.
 pub fn segment_max_rows(a: &Var, seg: usize) -> Var {
+    let _p = crate::profile::fwd("segment_max_rows");
     let av = a.value();
     assert_eq!(av.rank(), 2);
     let c = av.shape()[1];

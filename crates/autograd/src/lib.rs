@@ -24,6 +24,7 @@
 pub mod check;
 pub mod fused;
 pub mod ops;
+pub mod profile;
 pub mod tape;
 
 pub use tape::{Param, Tape, Var};

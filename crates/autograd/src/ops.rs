@@ -20,6 +20,7 @@ fn same_tape(a: &Var, b: &Var) -> Tape {
 
 /// `a + b` (broadcasting).
 pub fn add(a: &Var, b: &Var) -> Var {
+    let _p = crate::profile::fwd("add");
     let tape = same_tape(a, b);
     let (av, bv) = (a.value(), b.value());
     let out = t::add(&av, &bv);
@@ -39,6 +40,7 @@ pub fn add(a: &Var, b: &Var) -> Var {
 
 /// `a - b` (broadcasting).
 pub fn sub(a: &Var, b: &Var) -> Var {
+    let _p = crate::profile::fwd("sub");
     let tape = same_tape(a, b);
     let (av, bv) = (a.value(), b.value());
     let out = t::sub(&av, &bv);
@@ -58,6 +60,7 @@ pub fn sub(a: &Var, b: &Var) -> Var {
 
 /// Element-wise `a * b` (broadcasting).
 pub fn mul(a: &Var, b: &Var) -> Var {
+    let _p = crate::profile::fwd("mul");
     let tape = same_tape(a, b);
     let (av, bv) = (a.value(), b.value());
     let out = t::mul(&av, &bv);
@@ -77,6 +80,7 @@ pub fn mul(a: &Var, b: &Var) -> Var {
 
 /// Element-wise `a / b` (broadcasting).
 pub fn div(a: &Var, b: &Var) -> Var {
+    let _p = crate::profile::fwd("div");
     let tape = same_tape(a, b);
     let (av, bv) = (a.value(), b.value());
     let out = t::div(&av, &bv);
@@ -98,6 +102,7 @@ pub fn div(a: &Var, b: &Var) -> Var {
 
 /// `-a`.
 pub fn neg(a: &Var) -> Var {
+    let _p = crate::profile::fwd("neg");
     let out = t::neg(&a.value());
     a.tape.push(
         out,
@@ -109,6 +114,7 @@ pub fn neg(a: &Var) -> Var {
 
 /// `a + s` for scalar `s`.
 pub fn add_scalar(a: &Var, s: f32) -> Var {
+    let _p = crate::profile::fwd("add_scalar");
     let out = t::add_scalar(&a.value(), s);
     a.tape.push(
         out,
@@ -120,6 +126,7 @@ pub fn add_scalar(a: &Var, s: f32) -> Var {
 
 /// `a * s` for scalar `s`.
 pub fn scale(a: &Var, s: f32) -> Var {
+    let _p = crate::profile::fwd("scale");
     let out = t::scale(&a.value(), s);
     a.tape.push(
         out,
@@ -131,6 +138,7 @@ pub fn scale(a: &Var, s: f32) -> Var {
 
 /// 2-D matrix product `a[m×k] · b[k×n]`.
 pub fn matmul(a: &Var, b: &Var) -> Var {
+    let _p = crate::profile::fwd("matmul");
     let tape = same_tape(a, b);
     let (av, bv) = (a.value(), b.value());
     let out = mm::matmul(&av, &bv);
@@ -149,6 +157,7 @@ pub fn matmul(a: &Var, b: &Var) -> Var {
 
 /// Batched matrix product `a[B×m×k] · b[B×k×n]`.
 pub fn bmm(a: &Var, b: &Var) -> Var {
+    let _p = crate::profile::fwd("bmm");
     let tape = same_tape(a, b);
     let (av, bv) = (a.value(), b.value());
     let out = mm::bmm(&av, &bv);
@@ -167,6 +176,7 @@ pub fn bmm(a: &Var, b: &Var) -> Var {
 
 /// 2-D transpose.
 pub fn transpose(a: &Var) -> Var {
+    let _p = crate::profile::fwd("transpose");
     let out = a.value().t();
     a.tape.push(
         out,
@@ -178,6 +188,7 @@ pub fn transpose(a: &Var) -> Var {
 
 /// Transpose of the last two axes (rank ≥ 2).
 pub fn transpose_last2(a: &Var) -> Var {
+    let _p = crate::profile::fwd("transpose_last2");
     let out = a.value().transpose_last2();
     a.tape.push(
         out,
@@ -190,6 +201,7 @@ pub fn transpose_last2(a: &Var) -> Var {
 /// Swaps the first two axes of a rank-3 var: `[A, B, C] → [B, A, C]`.
 /// Self-adjoint: the backward is the same transpose.
 pub fn transpose_01(a: &Var) -> Var {
+    let _p = crate::profile::fwd("transpose_01");
     let out = a.value().transpose_01();
     a.tape.push(
         out,
@@ -201,6 +213,7 @@ pub fn transpose_01(a: &Var) -> Var {
 
 /// Reshape (same element count).
 pub fn reshape(a: &Var, shape: &[usize]) -> Var {
+    let _p = crate::profile::fwd("reshape");
     let orig = a.value().shape().to_vec();
     let out = a.value().reshape_inplace(shape);
     a.tape.push(
@@ -215,6 +228,7 @@ pub fn reshape(a: &Var, shape: &[usize]) -> Var {
 ///
 /// `out[r, :] = table[indices[r], :]`; backward scatter-adds into the table.
 pub fn index_select_rows(table: &Var, indices: &[usize]) -> Var {
+    let _p = crate::profile::fwd("index_select_rows");
     let tv = table.value();
     let out = tv.index_select_rows(indices);
     let idx = indices.to_vec();
@@ -236,6 +250,7 @@ pub fn index_select_rows(table: &Var, indices: &[usize]) -> Var {
 /// Used for the concept-embedding sum of Eq. (1): each item contributes the
 /// sum of the embeddings of its concepts. Empty bags produce zero rows.
 pub fn bag_select_sum(table: &Var, bags: &[Vec<usize>]) -> Var {
+    let _p = crate::profile::fwd("bag_select_sum");
     let tv = table.value();
     assert_eq!(tv.rank(), 2);
     let d = tv.shape()[1];
@@ -272,6 +287,7 @@ pub fn bag_select_sum(table: &Var, bags: &[Vec<usize>]) -> Var {
 
 /// Concatenates 2-D vars along axis 0.
 pub fn concat_rows(parts: &[Var]) -> Var {
+    let _p = crate::profile::fwd("concat_rows");
     assert!(!parts.is_empty());
     let tape = parts[0].tape.clone();
     let values: Vec<Tensor> = parts.iter().map(|p| p.value()).collect();
@@ -297,6 +313,7 @@ pub fn concat_rows(parts: &[Var]) -> Var {
 
 /// Slices rows `[start, end)` of a 2-D var; backward zero-pads.
 pub fn slice_rows(a: &Var, start: usize, end: usize) -> Var {
+    let _p = crate::profile::fwd("slice_rows");
     let av = a.value();
     let out = av.slice_rows(start, end);
     let full_shape = av.shape().to_vec();
@@ -315,6 +332,7 @@ pub fn slice_rows(a: &Var, start: usize, end: usize) -> Var {
 
 /// Rectified linear unit.
 pub fn relu(a: &Var) -> Var {
+    let _p = crate::profile::fwd("relu");
     let av = a.value();
     let out = t::relu(&av);
     a.tape.push(
@@ -333,6 +351,7 @@ pub fn relu(a: &Var) -> Var {
 
 /// Logistic sigmoid.
 pub fn sigmoid(a: &Var) -> Var {
+    let _p = crate::profile::fwd("sigmoid");
     let out = t::sigmoid(&a.value());
     let y = out.clone();
     a.tape.push(
@@ -347,6 +366,7 @@ pub fn sigmoid(a: &Var) -> Var {
 
 /// Hyperbolic tangent.
 pub fn tanh(a: &Var) -> Var {
+    let _p = crate::profile::fwd("tanh");
     let out = t::tanh(&a.value());
     let y = out.clone();
     a.tape.push(
@@ -361,6 +381,7 @@ pub fn tanh(a: &Var) -> Var {
 
 /// Element-wise natural logarithm (inputs must be positive).
 pub fn ln(a: &Var) -> Var {
+    let _p = crate::profile::fwd("ln");
     let av = a.value();
     let out = t::ln(&av);
     a.tape.push(
@@ -373,6 +394,7 @@ pub fn ln(a: &Var) -> Var {
 
 /// Sum of all elements → scalar.
 pub fn sum_all(a: &Var) -> Var {
+    let _p = crate::profile::fwd("sum_all");
     let av = a.value();
     let out = Tensor::scalar(ist_tensor::reduce::sum(&av));
     let shape = av.shape().to_vec();
@@ -388,12 +410,14 @@ pub fn sum_all(a: &Var) -> Var {
 
 /// Mean of all elements → scalar.
 pub fn mean_all(a: &Var) -> Var {
+    let _p = crate::profile::fwd("mean_all");
     let n = a.value().len() as f32;
     scale(&sum_all(a), 1.0 / n)
 }
 
 /// Sums along the last axis: `[..., n] → [...]`.
 pub fn sum_lastdim(a: &Var) -> Var {
+    let _p = crate::profile::fwd("sum_lastdim");
     let av = a.value();
     let out = ist_tensor::reduce::sum_lastdim(&av);
     let in_shape = av.shape().to_vec();
@@ -412,6 +436,7 @@ pub fn sum_lastdim(a: &Var) -> Var {
 
 /// Sum of squares of all elements → scalar; the L2 regulariser primitive.
 pub fn sum_squares(a: &Var) -> Var {
+    let _p = crate::profile::fwd("sum_squares");
     let av = a.value();
     let out = Tensor::scalar(av.data().iter().map(|v| v * v).sum());
     a.tape.push(

@@ -12,6 +12,9 @@ use ist_tensor::Tensor;
 pub type BackwardFn = Box<dyn Fn(&Tensor, &[bool]) -> Vec<Option<Tensor>>>;
 
 pub(crate) struct Node {
+    /// Op kind that produced this node (`"leaf"` / `"const"` for inputs);
+    /// drives profiler attribution and [`Tape::to_dot`] labels.
+    pub op: &'static str,
     pub value: Tensor,
     pub parents: Vec<usize>,
     pub backward: Option<BackwardFn>,
@@ -72,6 +75,26 @@ impl Tape {
         backward: Option<BackwardFn>,
         requires_grad: bool,
     ) -> Var {
+        // Op fns open a `profile::fwd` guard before pushing, so the top of
+        // the thread-local op stack names whichever op is recording.
+        self.push_tagged(
+            crate::profile::current_op(),
+            value,
+            parents,
+            backward,
+            requires_grad,
+        )
+    }
+
+    fn push_tagged(
+        &self,
+        op: &'static str,
+        value: Tensor,
+        parents: Vec<usize>,
+        backward: Option<BackwardFn>,
+        requires_grad: bool,
+    ) -> Var {
+        crate::profile::note_output(op, value.len() as u64 * 4);
         let mut inner = self.inner.borrow_mut();
         let id = inner.nodes.len();
         debug_assert!(
@@ -79,6 +102,7 @@ impl Tape {
             "parents must precede children"
         );
         inner.nodes.push(Node {
+            op,
             value,
             parents,
             backward,
@@ -92,12 +116,12 @@ impl Tape {
 
     /// Records a leaf that participates in differentiation.
     pub fn leaf(&self, value: Tensor) -> Var {
-        self.push(value, vec![], None, true)
+        self.push_tagged("leaf", value, vec![], None, true)
     }
 
     /// Records a constant: no gradient flows into it.
     pub fn constant(&self, value: Tensor) -> Var {
-        self.push(value, vec![], None, false)
+        self.push_tagged("const", value, vec![], None, false)
     }
 
     /// Records an op node with a mandatory backward rule (crate-internal
@@ -145,10 +169,13 @@ impl Tape {
     /// Returns the gradients of all nodes (indexed by node id) so callers
     /// can also inspect gradients of intermediate variables.
     pub fn backward(&self, loss: &Var) -> Vec<Option<Tensor>> {
+        static BWD_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("autograd.backward", "node");
         assert!(
             Rc::ptr_eq(&self.inner, &loss.tape.inner),
             "loss var belongs to another tape"
         );
+        let _sweep = BWD_TIMER.start_with(loss.id as u64 + 1);
+        let _window = crate::profile::backward_window();
         let inner = self.inner.borrow();
         assert_eq!(
             inner.nodes[loss.id].value.len(),
@@ -162,15 +189,16 @@ impl Tape {
 
         for id in (0..=loss.id).rev() {
             let node = &inner.nodes[id];
-            let Some(grad) = grads[id].clone() else {
-                continue;
-            };
+            // Cheap structural checks first so the profiler guard below only
+            // brackets nodes that actually run a backward rule.
             let Some(backward) = &node.backward else {
                 continue;
             };
-            if !node.requires_grad {
+            if !node.requires_grad || grads[id].is_none() {
                 continue;
             }
+            let _p = crate::profile::bwd(node.op);
+            let grad = grads[id].clone().expect("checked above");
             let needs: Vec<bool> = node
                 .parents
                 .iter()
@@ -202,6 +230,41 @@ impl Tape {
             }
         }
         grads
+    }
+
+    /// Renders the recorded graph as Graphviz DOT (`isrec graph-dump`).
+    ///
+    /// One box per node labelled `#id op [shape]`; leaves registered through
+    /// [`Param::leaf`] additionally carry the parameter name, constants are
+    /// drawn dashed, and edges follow dataflow (parent → child).
+    pub fn to_dot(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut param_names: Vec<Option<String>> = vec![None; inner.nodes.len()];
+        for (param, id) in &inner.param_hooks {
+            param_names[*id] = Some(param.name());
+        }
+        let mut out =
+            String::from("digraph tape {\n  rankdir=BT;\n  node [shape=box, fontsize=10];\n");
+        for (id, node) in inner.nodes.iter().enumerate() {
+            let mut label = format!("#{id} {} {:?}", node.op, node.value.shape());
+            if let Some(name) = &param_names[id] {
+                label.push_str(&format!("\\nparam: {name}"));
+            }
+            let style = if node.requires_grad {
+                ""
+            } else {
+                ", style=dashed"
+            };
+            out.push_str(&format!(
+                "  n{id} [label=\"{}\"{style}];\n",
+                label.replace('"', "\\\"")
+            ));
+            for p in &node.parents {
+                out.push_str(&format!("  n{p} -> n{id};\n"));
+            }
+        }
+        out.push_str("}\n");
+        out
     }
 }
 

@@ -1,0 +1,137 @@
+//! Bench-regression gate: reruns the GEMM suite and compares it against a
+//! committed baseline (`BENCH_gemm.json`), exiting nonzero when any
+//! configuration regressed beyond tolerance.
+//!
+//! ```text
+//! bench_diff [--baseline BENCH_gemm.json] [--tolerance 0.35]
+//! ```
+//!
+//! Throughput on shared CI runners is noisy, so the default tolerance is
+//! deliberately loose (a row must lose ≥35% of its baseline GFLOP/s to
+//! fail); tighten with `--tolerance` for a quiet local machine. Rows whose
+//! baseline lacks warmup/iteration metadata (pre-metadata files), or was
+//! measured with a different warmup count, are compared but flagged — the
+//! regimes are not like-for-like. CI runs this as a soft gate (warn-only);
+//! locally the nonzero exit is the point.
+
+use std::process::ExitCode;
+
+use ist_bench::gemm;
+
+struct Cli {
+    baseline: String,
+    tolerance: f64,
+}
+
+fn parse_cli() -> Result<Cli, String> {
+    let mut cli = Cli {
+        baseline: "BENCH_gemm.json".to_string(),
+        tolerance: 0.35,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => {
+                cli.baseline = args.next().ok_or("--baseline needs a path")?;
+            }
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                cli.tolerance = v.parse().map_err(|e| format!("--tolerance: {e}"))?;
+                if !(0.0..1.0).contains(&cli.tolerance) {
+                    return Err("--tolerance must be in [0, 1)".into());
+                }
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<bool, String> {
+    let text = std::fs::read_to_string(&cli.baseline)
+        .map_err(|e| format!("read baseline {}: {e}", cli.baseline))?;
+    let baseline = gemm::parse_rows(&text)?;
+    eprintln!(
+        "comparing against {} ({} rows, tolerance {:.0}%)…",
+        cli.baseline,
+        baseline.len(),
+        cli.tolerance * 100.0
+    );
+    let fresh = gemm::run_suite();
+
+    println!(
+        "{:<14} {:>5} {:>8} {:>10} {:>10} {:>8}  verdict",
+        "kernel", "size", "threads", "base", "fresh", "delta"
+    );
+    let mut regressions = 0usize;
+    let mut missing = 0usize;
+    for base in &baseline {
+        let Some(now) = fresh.iter().find(|r| r.key() == base.key()) else {
+            println!(
+                "{:<14} {:>5} {:>8} {:>10.3} {:>10} {:>8}  MISSING (config no longer benchmarked)",
+                base.kernel, base.size, base.threads, base.gflops, "-", "-"
+            );
+            missing += 1;
+            continue;
+        };
+        let delta = now.gflops / base.gflops.max(1e-9) - 1.0;
+        let regressed = delta < -cli.tolerance;
+        let mut verdict = if regressed { "REGRESSED" } else { "ok" }.to_string();
+        if base.iters == 0 {
+            verdict.push_str(" (baseline has no iteration metadata)");
+        } else if base.warmup != now.warmup {
+            verdict.push_str(&format!(
+                " (warmup {} vs {} — not like-for-like)",
+                base.warmup, now.warmup
+            ));
+        }
+        println!(
+            "{:<14} {:>5} {:>8} {:>10.3} {:>10.3} {:>+7.1}%  {verdict}",
+            base.kernel,
+            base.size,
+            base.threads,
+            base.gflops,
+            now.gflops,
+            delta * 100.0
+        );
+        regressions += regressed as usize;
+    }
+    for now in &fresh {
+        if !baseline.iter().any(|b| b.key() == now.key()) {
+            println!(
+                "{:<14} {:>5} {:>8} {:>10} {:>10.3} {:>8}  NEW (no baseline)",
+                now.kernel, now.size, now.threads, "-", now.gflops, "-"
+            );
+        }
+    }
+    if missing > 0 {
+        eprintln!("warning: {missing} baseline configuration(s) not re-measured");
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_diff: {regressions} configuration(s) regressed more than {:.0}%",
+            cli.tolerance * 100.0
+        );
+    } else {
+        eprintln!("bench_diff: no regressions beyond tolerance");
+    }
+    Ok(regressions == 0)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&cli) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,48 +1,11 @@
 //! GEMM throughput report: serial reference kernel vs the cache-blocked
 //! kernel, across pool sizes. Writes `BENCH_gemm.json` (GFLOP/s per
-//! configuration) for CI artifacts and prints a table to stdout.
+//! configuration, plus the warmup/iteration counts each number was measured
+//! with) for CI artifacts and `bench_diff`, and prints a table to stdout.
 //!
 //! Usage: `cargo run --release -p ist-bench --bin bench_gemm [out.json]`
 
-use std::time::Instant;
-
-use ist_tensor::matmul::{gemm_blocked, gemm_serial, matmul_in};
-use ist_tensor::pool::ThreadPool;
-use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
-
-/// Square problem sizes benchmarked; 512 is the acceptance-gate size.
-const SIZES: [usize; 3] = [128, 256, 512];
-/// Pool sizes for the parallel rows of the report.
-const THREADS: [usize; 4] = [1, 2, 4, 8];
-
-struct Row {
-    kernel: String,
-    size: usize,
-    threads: usize,
-    gflops: f64,
-    ms_per_iter: f64,
-}
-
-/// Times `f` adaptively: enough iterations to fill ~200 ms, min 3.
-fn time_ms(mut f: impl FnMut()) -> f64 {
-    f(); // warm-up (page-in, pool spin-up)
-    let mut iters = 1usize;
-    loop {
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        let elapsed = start.elapsed().as_secs_f64();
-        if elapsed >= 0.2 || iters >= 1024 {
-            return elapsed * 1e3 / iters as f64;
-        }
-        iters = (iters * 2).max(3);
-    }
-}
-
-fn gflops(n: usize, ms: f64) -> f64 {
-    (2.0 * (n as f64).powi(3)) / (ms * 1e6)
-}
+use ist_bench::gemm;
 
 fn main() {
     // Aggregate telemetry (GEMM call counts, GFLOP/s, pool utilisation)
@@ -54,78 +17,23 @@ fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_gemm.json".to_string());
-    let mut rows: Vec<Row> = Vec::new();
 
-    for &n in &SIZES {
-        let mut rng = SeedRng::seed(42);
-        let a = uniform(&[n, n], -1.0, 1.0, &mut rng);
-        let b = uniform(&[n, n], -1.0, 1.0, &mut rng);
-        let mut out = vec![0.0f32; n * n];
-
-        let ms = time_ms(|| {
-            out.iter_mut().for_each(|v| *v = 0.0);
-            gemm_serial(a.data(), b.data(), &mut out, n, n, n);
-        });
-        rows.push(Row {
-            kernel: "serial_ikj".into(),
-            size: n,
-            threads: 1,
-            gflops: gflops(n, ms),
-            ms_per_iter: ms,
-        });
-
-        let ms = time_ms(|| {
-            out.iter_mut().for_each(|v| *v = 0.0);
-            gemm_blocked(a.data(), b.data(), &mut out, n, n, n);
-        });
-        rows.push(Row {
-            kernel: "blocked".into(),
-            size: n,
-            threads: 1,
-            gflops: gflops(n, ms),
-            ms_per_iter: ms,
-        });
-
-        for &t in &THREADS {
-            let pool = ThreadPool::new(t);
-            let ms = time_ms(|| {
-                std::hint::black_box(matmul_in(&pool, &a, &b));
-            });
-            rows.push(Row {
-                kernel: "blocked_pool".into(),
-                size: n,
-                threads: t,
-                gflops: gflops(n, ms),
-                ms_per_iter: ms,
-            });
-        }
-    }
+    let rows = gemm::run_suite();
 
     println!(
-        "{:<14} {:>5} {:>8} {:>10} {:>12}",
-        "kernel", "size", "threads", "GFLOP/s", "ms/iter"
+        "{:<14} {:>5} {:>8} {:>10} {:>12} {:>7}",
+        "kernel", "size", "threads", "GFLOP/s", "ms/iter", "iters"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>5} {:>8} {:>10.3} {:>12.3}",
-            r.kernel, r.size, r.threads, r.gflops, r.ms_per_iter
+            "{:<14} {:>5} {:>8} {:>10.3} {:>12.3} {:>7}",
+            r.kernel, r.size, r.threads, r.gflops, r.ms_per_iter, r.iters
         );
     }
 
     // Hand-rolled JSON: the offline workspace carries no serde/format crate.
     let mut json = String::from("{\n  \"benchmark\": \"gemm\",\n  \"results\": [\n");
-    for (i, r) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"size\": {}, \"threads\": {}, \
-             \"gflops\": {:.4}, \"ms_per_iter\": {:.4}}}{}\n",
-            r.kernel,
-            r.size,
-            r.threads,
-            r.gflops,
-            r.ms_per_iter,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
+    json.push_str(&gemm::rows_to_json(&rows));
     json.push_str("  ],\n  \"obs\": [\n");
     let snapshot = ist_obs::snapshot_json();
     for (i, line) in snapshot.iter().enumerate() {

@@ -1,0 +1,272 @@
+//! Shared GEMM benchmark harness: the measurement suite behind the
+//! `bench_gemm` binary, plus a parser for its `BENCH_gemm.json` artifact so
+//! `bench_diff` can compare a fresh run against the committed baseline.
+//!
+//! The JSON is hand-rolled and hand-parsed — the offline workspace carries
+//! no serde — so both directions live here, next to each other, and the
+//! round-trip is covered by tests.
+
+use std::time::Instant;
+
+use ist_tensor::matmul::{gemm_blocked, gemm_serial, matmul_in};
+use ist_tensor::pool::ThreadPool;
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+
+/// Square problem sizes benchmarked; 512 is the acceptance-gate size.
+pub const SIZES: [usize; 3] = [128, 256, 512];
+/// Pool sizes for the parallel rows of the report.
+pub const THREADS: [usize; 4] = [1, 2, 4, 8];
+/// Warm-up calls before the timed loop (page-in, pool spin-up).
+pub const WARMUP: usize = 1;
+
+/// One benchmark configuration's result. `warmup`/`iters` record how the
+/// number was measured, so a comparison between two files can flag rows
+/// timed under different regimes instead of silently treating them alike.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchRow {
+    pub kernel: String,
+    pub size: usize,
+    pub threads: usize,
+    pub gflops: f64,
+    pub ms_per_iter: f64,
+    pub warmup: usize,
+    pub iters: usize,
+}
+
+impl BenchRow {
+    /// Configuration key used to match rows across runs.
+    pub fn key(&self) -> (String, usize, usize) {
+        (self.kernel.clone(), self.size, self.threads)
+    }
+}
+
+/// Times `f` adaptively: enough iterations to fill ~200 ms, min 3.
+/// Returns `(ms_per_iter, iters)` of the final timing loop.
+pub fn time_ms(mut f: impl FnMut()) -> (f64, usize) {
+    for _ in 0..WARMUP {
+        f();
+    }
+    let mut iters = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= 0.2 || iters >= 1024 {
+            return (elapsed * 1e3 / iters as f64, iters);
+        }
+        iters = (iters * 2).max(3);
+    }
+}
+
+fn gflops(n: usize, ms: f64) -> f64 {
+    (2.0 * (n as f64).powi(3)) / (ms * 1e6)
+}
+
+/// Runs the full suite: serial reference, cache-blocked kernel, and the
+/// pool-dispatched path across [`THREADS`] for every size in [`SIZES`].
+pub fn run_suite() -> Vec<BenchRow> {
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut push = |kernel: &str, size: usize, threads: usize, ms: f64, iters: usize| {
+        rows.push(BenchRow {
+            kernel: kernel.into(),
+            size,
+            threads,
+            gflops: gflops(size, ms),
+            ms_per_iter: ms,
+            warmup: WARMUP,
+            iters,
+        });
+    };
+
+    for &n in &SIZES {
+        let mut rng = SeedRng::seed(42);
+        let a = uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let b = uniform(&[n, n], -1.0, 1.0, &mut rng);
+        let mut out = vec![0.0f32; n * n];
+
+        let (ms, iters) = time_ms(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            gemm_serial(a.data(), b.data(), &mut out, n, n, n);
+        });
+        push("serial_ikj", n, 1, ms, iters);
+
+        let (ms, iters) = time_ms(|| {
+            out.iter_mut().for_each(|v| *v = 0.0);
+            gemm_blocked(a.data(), b.data(), &mut out, n, n, n);
+        });
+        push("blocked", n, 1, ms, iters);
+
+        for &t in &THREADS {
+            let pool = ThreadPool::new(t);
+            let (ms, iters) = time_ms(|| {
+                std::hint::black_box(matmul_in(&pool, &a, &b));
+            });
+            push("blocked_pool", n, t, ms, iters);
+        }
+    }
+    rows
+}
+
+/// Serialises rows as the `"results"` JSON array (indented two levels).
+pub fn rows_to_json(rows: &[BenchRow]) -> String {
+    let mut json = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"size\": {}, \"threads\": {}, \
+             \"gflops\": {:.4}, \"ms_per_iter\": {:.4}, \"warmup\": {}, \"iters\": {}}}{}\n",
+            r.kernel,
+            r.size,
+            r.threads,
+            r.gflops,
+            r.ms_per_iter,
+            r.warmup,
+            r.iters,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json
+}
+
+fn str_field(obj: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+    let rest = &obj[at + pat.len()..];
+    let colon = rest.find(':').ok_or_else(|| format!("malformed {key}"))?;
+    let rest = rest[colon + 1..].trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("{key} is not a string"))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| format!("unterminated string for {key}"))?;
+    Ok(rest[..end].to_string())
+}
+
+fn num_field(obj: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\"");
+    let at = obj.find(&pat).ok_or_else(|| format!("missing key {key}"))?;
+    let rest = &obj[at + pat.len()..];
+    let colon = rest.find(':').ok_or_else(|| format!("malformed {key}"))?;
+    let rest = rest[colon + 1..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .map_err(|e| format!("{key}: {e} in {:?}", &rest[..end]))
+}
+
+/// Parses the `"results"` array out of a `BENCH_gemm.json` document.
+/// `warmup`/`iters` default to 0 for baselines written before those fields
+/// existed (comparisons then carry a measurement-regime caveat).
+pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
+    let start = json
+        .find("\"results\"")
+        .ok_or("no \"results\" key in baseline")?;
+    let open = json[start..].find('[').ok_or("no results array")? + start;
+    let mut depth = 0usize;
+    let mut end = None;
+    for (i, ch) in json[open..].char_indices() {
+        match ch {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = Some(open + i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let end = end.ok_or("unterminated results array")?;
+    let mut rows = Vec::new();
+    for chunk in json[open + 1..end].split('{').skip(1) {
+        let obj = chunk
+            .split('}')
+            .next()
+            .ok_or("unterminated result object")?;
+        rows.push(BenchRow {
+            kernel: str_field(obj, "kernel")?,
+            size: num_field(obj, "size")? as usize,
+            threads: num_field(obj, "threads")? as usize,
+            gflops: num_field(obj, "gflops")?,
+            ms_per_iter: num_field(obj, "ms_per_iter")?,
+            warmup: num_field(obj, "warmup").unwrap_or(0.0) as usize,
+            iters: num_field(obj, "iters").unwrap_or(0.0) as usize,
+        });
+    }
+    if rows.is_empty() {
+        return Err("baseline contains no result rows".into());
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rows() -> Vec<BenchRow> {
+        vec![
+            BenchRow {
+                kernel: "serial_ikj".into(),
+                size: 128,
+                threads: 1,
+                gflops: 16.2832,
+                ms_per_iter: 0.2576,
+                warmup: 1,
+                iters: 768,
+            },
+            BenchRow {
+                kernel: "blocked_pool".into(),
+                size: 512,
+                threads: 4,
+                gflops: 21.2854,
+                ms_per_iter: 12.6112,
+                warmup: 1,
+                iters: 24,
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rows = sample_rows();
+        let doc = format!(
+            "{{\n  \"benchmark\": \"gemm\",\n  \"results\": [\n{}  ]\n}}\n",
+            rows_to_json(&rows)
+        );
+        let parsed = parse_rows(&doc).unwrap();
+        assert_eq!(parsed.len(), rows.len());
+        for (p, r) in parsed.iter().zip(&rows) {
+            assert_eq!(p.key(), r.key());
+            assert!((p.gflops - r.gflops).abs() < 1e-3);
+            assert_eq!(p.warmup, r.warmup);
+            assert_eq!(p.iters, r.iters);
+        }
+    }
+
+    #[test]
+    fn parses_legacy_baseline_without_measurement_fields() {
+        let doc = r#"{
+  "benchmark": "gemm",
+  "results": [
+    {"kernel": "blocked", "size": 256, "threads": 1, "gflops": 22.1958, "ms_per_iter": 1.5117}
+  ],
+  "obs": []
+}"#;
+        let rows = parse_rows(doc).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].kernel, "blocked");
+        assert_eq!(rows[0].warmup, 0);
+        assert_eq!(rows[0].iters, 0);
+    }
+
+    #[test]
+    fn rejects_documents_without_results() {
+        assert!(parse_rows("{}").is_err());
+        assert!(parse_rows("{\"results\": []}").is_err());
+    }
+}

@@ -5,4 +5,5 @@
 
 #![forbid(unsafe_code)]
 
+pub mod gemm;
 pub mod worlds;

@@ -16,6 +16,12 @@ use crate::config::{AdjacencyMode, IsrecConfig, IsrecVariant, TrainConfig};
 use crate::recommender::{SequentialRecommender, TrainReport};
 use crate::trainer;
 
+/// Timings for the intent-MLP stages of the pipeline (env-gated; see
+/// `ist-obs`). Two scopes per forward: the per-concept lifting of Eq. (7–8)
+/// and the decoder of Eq. (11); units are batch rows. The GCN between them
+/// carries its own `nn.gcn` timer, so traces show lift → gcn → decode.
+static INTENT_MLP_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("nn.intent_mlp", "row");
+
 /// Raw per-row intent information captured during a forward pass, used by
 /// the explainability layer (Fig. 2).
 #[derive(Clone, Debug, Default)]
@@ -201,17 +207,20 @@ impl Isrec {
         };
 
         // --- Per-concept feature lifting (Eq. 7–8) ------------------------
-        let pre = match &self.concept_pre {
-            Some(l) => ops::relu(&l.forward(ctx, x)),
-            None => x.clone(),
+        let z_now = {
+            let _t = INTENT_MLP_TIMER.start_with(rows as u64);
+            let pre = match &self.concept_pre {
+                Some(l) => ops::relu(&l.forward(ctx, x)),
+                None => x.clone(),
+            };
+            let lifted = ops::add(
+                &ops::matmul(&pre, &self.up_w.leaf(&ctx.tape)),
+                &self.up_b.leaf(&ctx.tape),
+            );
+            let z = ops::reshape(&lifted, &[rows, k, dp]);
+            let gate_now = ops::reshape(&m_now, &[rows, k, 1]);
+            ops::mul(&z, &gate_now)
         };
-        let lifted = ops::add(
-            &ops::matmul(&pre, &self.up_w.leaf(&ctx.tape)),
-            &self.up_b.leaf(&ctx.tape),
-        );
-        let z = ops::reshape(&lifted, &[rows, k, dp]);
-        let gate_now = ops::reshape(&m_now, &[rows, k, 1]);
-        let z_now = ops::mul(&z, &gate_now);
 
         // --- Structured intent transition (Eq. 9–10) ----------------------
         let (z_next, m_next_mask, next_idx) = if self.cfg.variant == IsrecVariant::Full {
@@ -265,6 +274,7 @@ impl Isrec {
         };
 
         // --- Intent decoder (Eq. 11) --------------------------------------
+        let _t_decode = INTENT_MLP_TIMER.start_with(rows as u64);
         let gate_next = ops::reshape(&m_next_mask, &[rows, k, 1]);
         let z_gated = ops::mul(&z_next, &gate_next);
         let flat = ops::reshape(&z_gated, &[rows, k * dp]);

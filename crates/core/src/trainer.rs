@@ -20,6 +20,14 @@ use crate::snapshot::{self, TrainerState};
 /// metrics stream records recoveries even when the caller drops the report.
 static RECOVERIES: ist_obs::Counter = ist_obs::Counter::new("train.recoveries");
 
+/// Per-step phase timers. Besides the aggregate numbers in the metrics
+/// summary, each started timer opens a chrome-trace scope, so timelines
+/// show forward / backward / optimizer segments inside every `train.epoch`
+/// span (see `ist_obs::trace`).
+static FWD_TIMER: ist_obs::Timer = ist_obs::Timer::new("train.forward");
+static BWD_TIMER: ist_obs::Timer = ist_obs::Timer::new("train.backward");
+static OPT_TIMER: ist_obs::Timer = ist_obs::Timer::new("train.opt");
+
 /// Everything needed to rewind training to the start of an epoch: parameter
 /// values, Adam's moments/step, and the shuffle-RNG cursor (captured
 /// *before* the epoch shuffle, so a retried epoch revisits the same batch
@@ -130,6 +138,7 @@ where
     let n_users = split.train.len();
     'epochs: for epoch in start_epoch..cfg.epochs {
         let mut span = ist_obs::Span::enter("train.epoch").field("epoch", epoch);
+        ist_tensor::mem::begin_epoch();
         let mut attempts = 0usize;
         let (mean, steps_done, last_gnorm) = loop {
             let good = GoodState::capture(&params, &opt, &shuffle_rng);
@@ -145,8 +154,12 @@ where
                     continue; // nothing to predict in this batch
                 }
                 let mut ctx = Ctx::train(cfg.seed ^ ((epoch as u64) << 32) ^ step as u64);
-                let logits = forward(&mut ctx, batch);
-                let loss = fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
+                let loss = {
+                    let _t = FWD_TIMER.start();
+                    let _w = ist_autograd::profile::forward_window();
+                    let logits = forward(&mut ctx, batch);
+                    fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights)
+                };
                 let mut loss_val = loss.value().item();
                 if faults.take_loss_nan(epoch, step) {
                     loss_val = f32::NAN;
@@ -155,7 +168,11 @@ where
                     failure = Some((step, RecoveryKind::NonFiniteLoss));
                     break;
                 }
-                ctx.tape.backward(&loss);
+                {
+                    let _t = BWD_TIMER.start();
+                    ctx.tape.backward(&loss);
+                }
+                let _opt_t = OPT_TIMER.start();
                 let mut gnorm = if cfg.grad_clip > 0.0 {
                     clip_grad_norm(&params, cfg.grad_clip)
                 } else {
@@ -224,6 +241,7 @@ where
             if secs > 0.0 {
                 span.add_field("steps_per_s", steps_done as f64 / secs);
             }
+            span.add_field("peak_mem_bytes", ist_tensor::mem::epoch_peak_bytes());
         }
 
         if let Some(mgr) = manager.as_mut() {

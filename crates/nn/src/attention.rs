@@ -25,6 +25,11 @@ const NEG_INF: f32 = -1e9;
 /// (`B·T`), so the summary reports tokens-per-second forward throughput.
 static ATTN_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("nn.attention", "tok");
 
+/// Position-wise feed-forward timing for the transformer block, mirroring
+/// [`ATTN_TIMER`] so the chrome-trace timeline separates the two halves of
+/// each block.
+static FFN_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("nn.ffn", "tok");
+
 /// Builds the additive attention mask `[B, T, T]`.
 ///
 /// `pad[b·T + k] == true` marks position `k` of sequence `b` as padding:
@@ -181,6 +186,7 @@ impl TransformerBlock {
         let a = dropout(ctx, &a, self.dropout_p);
         let s = self.ln1.forward(ctx, &ops::add(x, &a));
 
+        let _timing = FFN_TIMER.start_with((batch * len) as u64);
         let f = self.ffn1.forward(ctx, &s);
         let f = ops::relu(&f);
         let f = dropout(ctx, &f, self.dropout_p);

@@ -87,6 +87,10 @@ impl Module for GcnLayer {
     }
 }
 
+/// Aggregate GCN-stack timing (env-gated; see `ist-obs`). Units are node
+/// rows (`R·K`) so the summary reports node throughput.
+static GCN_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("nn.gcn", "node");
+
 /// A stack of [`GcnLayer`]s; ReLU between layers, linear final layer.
 pub struct Gcn {
     layers: Vec<GcnLayer>,
@@ -120,6 +124,8 @@ impl Gcn {
 
     /// Transition under a *variable* adjacency (learned-relations mode).
     pub fn forward_adj_var(&self, ctx: &Ctx, h: &Var, norm_adj: &Var) -> Var {
+        let shape = h.shape();
+        let _timing = GCN_TIMER.start_with(shape.iter().take(2).product::<usize>() as u64);
         let mut out = h.clone();
         for layer in &self.layers {
             out = layer.forward_adj_var(ctx, &out, norm_adj);

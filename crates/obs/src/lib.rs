@@ -47,6 +47,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+pub mod trace;
+
+pub use trace::{trace_enabled, TraceScope};
+
 /// Telemetry mode, resolved once from `IST_METRICS` (or forced with
 /// [`set_mode`]).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -138,7 +142,7 @@ struct Registry {
 
 /// Locks an observability mutex, tolerating poisoning: telemetry must never
 /// cascade a panic elsewhere in the process into a second failure here.
-fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -257,10 +261,53 @@ impl Gauge {
         if !enabled() {
             return;
         }
+        self.register();
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the gauge (live-resource accounting, e.g. tensor bytes);
+    /// a no-op when telemetry is off. Returns the post-add value (0 when
+    /// disabled).
+    #[inline]
+    pub fn add(&'static self, n: u64) -> u64 {
+        if !enabled() {
+            return 0;
+        }
+        self.register();
+        self.value.fetch_add(n, Ordering::Relaxed) + n
+    }
+
+    /// Subtracts `n`, saturating at zero — frees of resources acquired
+    /// before telemetry was enabled must not wrap the gauge.
+    #[inline]
+    pub fn sub(&'static self, n: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        let _ = self
+            .value
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(n))
+            });
+    }
+
+    /// Raises the gauge to `v` if larger (high-water marks); a no-op when
+    /// telemetry is off.
+    #[inline]
+    pub fn set_max(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.register();
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn register(&'static self) {
         if !self.registered.swap(true, Ordering::Relaxed) {
             lock_tolerant(registry()).gauges.push(self);
         }
-        self.value.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
@@ -312,13 +359,23 @@ impl Timer {
         self.start_with(0)
     }
 
-    /// Starts timing one call that performs `units` units of work.
+    /// Starts timing one call that performs `units` units of work. When
+    /// tracing is on ([`trace_enabled`]) the guard also records a timeline
+    /// scope, so hot-op timers show up in the chrome-trace view without
+    /// separate instrumentation.
     #[inline]
     pub fn start_with(&'static self, units: u64) -> TimerGuard {
+        let trace = trace::scope_cat(self.name, "timer");
         if !enabled() {
-            return TimerGuard(None);
+            return TimerGuard {
+                rec: None,
+                _trace: trace,
+            };
         }
-        TimerGuard(Some((self, Instant::now(), units)))
+        TimerGuard {
+            rec: Some((self, Instant::now(), units)),
+            _trace: trace,
+        }
     }
 
     fn record(&'static self, ns: u64, units: u64) {
@@ -349,11 +406,16 @@ impl Timer {
 }
 
 /// RAII guard returned by [`Timer::start`]; records elapsed time on drop.
-pub struct TimerGuard(Option<(&'static Timer, Instant, u64)>);
+/// Carries a [`TraceScope`] so the same probe feeds the timeline when
+/// tracing is on.
+pub struct TimerGuard {
+    rec: Option<(&'static Timer, Instant, u64)>,
+    _trace: trace::TraceScope,
+}
 
 impl Drop for TimerGuard {
     fn drop(&mut self) {
-        if let Some((timer, start, units)) = self.0.take() {
+        if let Some((timer, start, units)) = self.rec.take() {
             timer.record(start.elapsed().as_nanos() as u64, units);
         }
     }
@@ -417,15 +479,20 @@ struct SpanInner {
 /// is off.
 pub struct Span {
     inner: Option<SpanInner>,
+    _trace: trace::TraceScope,
 }
 
 impl Span {
     /// Opens a span. Inert (no clock read, no allocation) when telemetry
-    /// is off.
+    /// is off. When tracing is on the span also records a timeline scope.
     #[inline]
     pub fn enter(name: &'static str) -> Span {
+        let _trace = trace::scope_cat(name, "span");
         if !enabled() {
-            return Span { inner: None };
+            return Span {
+                inner: None,
+                _trace,
+            };
         }
         Span {
             inner: Some(SpanInner {
@@ -433,6 +500,7 @@ impl Span {
                 start: Instant::now(),
                 fields: Vec::new(),
             }),
+            _trace,
         }
     }
 
@@ -495,7 +563,7 @@ impl Drop for Span {
 // JSON helpers
 // ---------------------------------------------------------------------------
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -550,31 +618,82 @@ fn counter_json(name: &str, value: u64) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Flush hooks (other crates contribute report sections)
+// ---------------------------------------------------------------------------
+
+/// A report contribution registered by another crate (e.g. the autograd op
+/// profiler, tensor memory accounting). All members are plain `fn` pointers
+/// so hooks are `Copy` and callable without holding any obs lock.
+#[derive(Clone, Copy)]
+pub struct FlushHook {
+    /// Unique hook name; re-registration under the same name is a no-op.
+    pub name: &'static str,
+    /// Called before any report is rendered — push derived values into
+    /// gauges/counters here.
+    pub sync: fn(),
+    /// Appends JSON-object lines to `snapshot_json` / json-mode flush.
+    pub json_lines: fn(&mut Vec<String>),
+    /// Appends a section to the summary table.
+    pub summary: fn(&mut String),
+    /// Clears the hook's own aggregates (called by [`reset`]).
+    pub reset: fn(),
+}
+
+fn hooks() -> &'static Mutex<Vec<FlushHook>> {
+    static HOOKS: OnceLock<Mutex<Vec<FlushHook>>> = OnceLock::new();
+    HOOKS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Registers a [`FlushHook`]; duplicate names are ignored so lazy
+/// registration on first probe use is idempotent.
+pub fn register_flush_hook(hook: FlushHook) {
+    let mut hs = lock_tolerant(hooks());
+    if hs.iter().all(|h| h.name != hook.name) {
+        hs.push(hook);
+    }
+}
+
+fn hooks_snapshot() -> Vec<FlushHook> {
+    lock_tolerant(hooks()).clone()
+}
+
+// ---------------------------------------------------------------------------
 // Flush & summary
 // ---------------------------------------------------------------------------
 
 /// Aggregate JSON object strings for every timer, counter and gauge with
 /// recorded activity — for embedding in bespoke reports (the bench
-/// binaries' `BENCH_*.json`).
+/// binaries' `BENCH_*.json`). Registered [`FlushHook`]s contribute their
+/// own lines at the end.
 pub fn snapshot_json() -> Vec<String> {
-    let reg = lock_tolerant(registry());
+    let hooks = hooks_snapshot();
+    for h in &hooks {
+        (h.sync)();
+    }
     let mut out = Vec::new();
-    for t in reg.timers.iter().filter(|t| t.count() > 0) {
-        out.push(timer_json(t));
+    {
+        let reg = lock_tolerant(registry());
+        for t in reg.timers.iter().filter(|t| t.count() > 0) {
+            out.push(timer_json(t));
+        }
+        for c in &reg.counters {
+            out.push(counter_json(c.name, c.get()));
+        }
+        for g in &reg.gauges {
+            out.push(counter_json(g.name, g.get()));
+        }
     }
-    for c in &reg.counters {
-        out.push(counter_json(c.name, c.get()));
-    }
-    for g in &reg.gauges {
-        out.push(counter_json(g.name, g.get()));
+    for h in &hooks {
+        (h.json_lines)(&mut out);
     }
     out
 }
 
 /// Emits end-of-run output: in `json` mode, one aggregate line per timer
 /// plus one per counter/gauge (spans were already emitted as they closed);
-/// in `summary` mode, a human-readable table on stderr. No-op when
-/// telemetry is off. Call once at the end of a binary.
+/// in `summary` mode, a human-readable table on stderr. Also writes the
+/// chrome-trace file when tracing is on ([`trace::flush`]) — tracing is
+/// independent of the metrics mode. Call once at the end of a binary.
 pub fn flush() {
     match mode() {
         Mode::Off => {}
@@ -587,10 +706,16 @@ pub fn flush() {
             eprint!("{}", render_summary());
         }
     }
+    trace::flush();
 }
 
 /// Renders the aggregate table (what `summary` mode prints on [`flush`]).
+/// Registered [`FlushHook`]s append their sections at the end.
 pub fn render_summary() -> String {
+    let hooks = hooks_snapshot();
+    for h in &hooks {
+        (h.sync)();
+    }
     let reg = lock_tolerant(registry());
     let mut out = String::from("\n── ist-obs summary ──────────────────────────────────────────\n");
     if !reg.spans.is_empty() {
@@ -638,25 +763,43 @@ pub fn render_summary() -> String {
             out.push_str(&format!("{:<28} {:>8}\n", g.name, g.get()));
         }
     }
+    drop(reg);
+    for h in &hooks {
+        (h.summary)(&mut out);
+    }
     out
 }
 
-/// Clears every aggregate (counters, gauges, timers, span stats). Intended
-/// for tests that assert on freshly collected values.
+/// Clears every aggregate (counters, gauges, timers, span stats, and
+/// registered hooks' own state). Intended for tests that assert on freshly
+/// collected values.
 pub fn reset() {
-    let mut reg = lock_tolerant(registry());
-    for c in &reg.counters {
-        c.value.store(0, Ordering::Relaxed);
+    {
+        let mut reg = lock_tolerant(registry());
+        for c in &reg.counters {
+            c.value.store(0, Ordering::Relaxed);
+        }
+        for g in &reg.gauges {
+            g.value.store(0, Ordering::Relaxed);
+        }
+        for t in &reg.timers {
+            t.count.store(0, Ordering::Relaxed);
+            t.total_ns.store(0, Ordering::Relaxed);
+            t.units.store(0, Ordering::Relaxed);
+        }
+        reg.spans.clear();
     }
-    for g in &reg.gauges {
-        g.value.store(0, Ordering::Relaxed);
+    for h in hooks_snapshot() {
+        (h.reset)();
     }
-    for t in &reg.timers {
-        t.count.store(0, Ordering::Relaxed);
-        t.total_ns.store(0, Ordering::Relaxed);
-        t.units.store(0, Ordering::Relaxed);
-    }
-    reg.spans.clear();
+}
+
+/// The metrics mode and trace state are process-global; test code that
+/// flips either must hold this lock to avoid cross-test interference.
+#[cfg(test)]
+pub(crate) fn test_mode_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    lock_tolerant(LOCK.get_or_init(|| Mutex::new(())))
 }
 
 #[cfg(test)]
@@ -664,10 +807,8 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
-    /// The mode is process-global; serialise tests that flip it.
     fn mode_lock() -> MutexGuard<'static, ()> {
-        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
-        lock_tolerant(LOCK.get_or_init(|| Mutex::new(())))
+        test_mode_lock()
     }
 
     /// A sink capture usable across the `Box<dyn Write + Send>` boundary.
@@ -686,7 +827,10 @@ mod tests {
 
     impl SharedBuf {
         fn contents(&self) -> String {
-            String::from_utf8(lock_tolerant(&self.0).clone()).unwrap()
+            // Lossy on purpose: an arbitrary writer may receive (or a test
+            // may inject) non-UTF-8 bytes, and inspecting telemetry output
+            // must never itself abort the process.
+            String::from_utf8_lossy(&lock_tolerant(&self.0)).into_owned()
         }
     }
 

@@ -1,0 +1,181 @@
+//! Integration tests for the trace exporter and the sink's concurrency
+//! story. Both manipulate process-global obs state, so every test grabs
+//! `LOCK` first (tests in one binary run in parallel).
+
+use std::io::Write;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use ist_obs::trace;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// A `Write` sink tests can read back after handing ownership to obs.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+static STRESS_COUNTER: ist_obs::Counter = ist_obs::Counter::new("stress.events");
+
+/// `set_output` racing concurrent span/counter emitters must neither
+/// deadlock, nor panic, nor corrupt the line structure of the stream.
+#[test]
+fn concurrent_emitters_survive_sink_swaps() {
+    let _g = serial();
+    ist_obs::reset();
+    ist_obs::set_mode(ist_obs::Mode::Json);
+    let buf = SharedBuf::default();
+    ist_obs::set_output(Box::new(buf.clone()));
+
+    let workers: Vec<_> = (0..4)
+        .map(|w| {
+            std::thread::spawn(move || {
+                for i in 0..50 {
+                    let mut span = ist_obs::Span::enter("stress.span");
+                    span.add_field("worker", w as u64);
+                    span.add_field("i", i as u64);
+                    STRESS_COUNTER.add(1);
+                }
+            })
+        })
+        .collect();
+    // Race the sink: swap the output several times mid-emission.
+    for _ in 0..8 {
+        ist_obs::set_output(Box::new(buf.clone()));
+        std::thread::yield_now();
+    }
+    for w in workers {
+        w.join().expect("emitter thread panicked");
+    }
+    ist_obs::flush();
+    ist_obs::set_mode(ist_obs::Mode::Off);
+
+    let text = String::from_utf8_lossy(&buf.0.lock().unwrap()).into_owned();
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(
+        lines.iter().any(|l| l.contains("\"stress.span\"")),
+        "no span lines survived the sink swaps:\n{text}"
+    );
+    // Writes are line-atomic: every line is one complete JSON object even
+    // while four threads shared the sink.
+    for line in &lines {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "interleaved/torn line: {line}"
+        );
+    }
+    assert_eq!(STRESS_COUNTER.get(), 200);
+}
+
+/// The exported chrome-trace document is structurally valid: a JSON array
+/// where every `B` has a matching `E` on the same thread, in timestamp
+/// order, with consistent pids.
+#[test]
+fn trace_export_schema() {
+    let _g = serial();
+    trace::reset();
+    trace::set_enabled(true);
+
+    {
+        let _outer = trace::scope("outer");
+        {
+            let _inner = trace::scope_cat("inner", "test");
+        }
+        let _sibling = trace::scope("sibling");
+    }
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(|| {
+                for _ in 0..10 {
+                    let _s = trace::scope("worker.scope");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    let json = trace::export_json();
+    trace::set_enabled(false);
+    trace::reset();
+
+    let doc = json.trim();
+    assert!(
+        doc.starts_with('[') && doc.ends_with(']'),
+        "not a JSON array"
+    );
+
+    // Tokenise events the same way CI's python validator sees them: each
+    // event is one object on its own line.
+    let mut begins = 0usize;
+    let mut ends = 0usize;
+    let mut stacks: std::collections::HashMap<String, Vec<String>> = Default::default();
+    let mut last_ts: Option<f64> = None;
+    let mut pids: std::collections::HashSet<String> = Default::default();
+    for line in doc.lines() {
+        let line = line.trim().trim_end_matches(',');
+        if !line.starts_with('{') {
+            continue;
+        }
+        let field = |key: &str| -> Option<String> {
+            let pat = format!("\"{key}\":");
+            let at = line.find(&pat)?;
+            let rest = line[at + pat.len()..].trim_start();
+            let end = rest.find([',', '}']).unwrap_or(rest.len());
+            Some(rest[..end].trim().trim_matches('"').to_string())
+        };
+        let ph = field("ph").expect("event without ph");
+        if let Some(pid) = field("pid") {
+            pids.insert(pid);
+        }
+        if ph == "M" {
+            continue;
+        }
+        let name = field("name").expect("event without name");
+        let tid = field("tid").expect("event without tid");
+        let ts: f64 = field("ts").expect("event without ts").parse().unwrap();
+        if let Some(prev) = last_ts {
+            assert!(ts >= prev, "events out of timestamp order: {prev} > {ts}");
+        }
+        last_ts = Some(ts);
+        match ph.as_str() {
+            "B" => {
+                begins += 1;
+                stacks.entry(tid).or_default().push(name);
+            }
+            "E" => {
+                ends += 1;
+                let open = stacks
+                    .get_mut(&tid)
+                    .and_then(|s| s.pop())
+                    .unwrap_or_else(|| panic!("E without open B on tid {tid}"));
+                assert_eq!(open, name, "mismatched B/E pair on tid {tid}");
+            }
+            "I" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert!(begins > 0, "no events exported");
+    assert_eq!(begins, ends, "unbalanced B/E events");
+    assert!(
+        stacks.values().all(|s| s.is_empty()),
+        "unclosed scopes at export: {stacks:?}"
+    );
+    assert_eq!(pids.len(), 1, "inconsistent pids: {pids:?}");
+    for name in ["outer", "inner", "sibling", "worker.scope"] {
+        assert!(json.contains(name), "scope {name:?} missing from export");
+    }
+}

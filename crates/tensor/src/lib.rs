@@ -25,6 +25,7 @@
 #![deny(unsafe_code)]
 
 pub mod matmul;
+pub mod mem;
 pub mod ops;
 pub mod pool;
 pub mod reduce;

@@ -15,7 +15,9 @@
 //! is computed by exactly one task with a fixed k-accumulation order, so
 //! results are bitwise identical for every pool size. The serial/parallel
 //! crossover is derived from the pool size and the tunable per-worker grain
-//! ([`crate::pool::gemm_grain`]) instead of a hard-coded FLOP constant.
+//! ([`crate::pool::gemm_grain`]), plus a measured small-size serial cutoff
+//! ([`crate::pool::gemm_serial_cutoff`]) below which fan-out overhead
+//! always loses to the single-threaded blocked kernel.
 
 use crate::pool;
 use crate::Tensor;
@@ -25,6 +27,12 @@ use crate::Tensor;
 static GEMM_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.gemm", "flop");
 static BMM_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.bmm", "flop");
 static MATVEC_TIMER: ist_obs::Timer = ist_obs::Timer::with_unit("tensor.matvec", "flop");
+
+/// Output-buffer allocation volume per hot op (memory accounting: these
+/// three are the dominant transient allocators in training).
+static GEMM_OUT_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.gemm.alloc_bytes");
+static BMM_OUT_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.bmm.alloc_bytes");
+static MATVEC_OUT_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.matvec.alloc_bytes");
 
 /// Columns of `b` packed per panel (`NC · KC` floats ≈ 64 KiB, L2-resident).
 const NC: usize = 64;
@@ -225,10 +233,17 @@ pub fn matmul_in(pool: &pool::ThreadPool, a: &Tensor, b: &Tensor) -> Tensor {
     );
 
     let mut out = vec![0.0f32; m * n];
+    GEMM_OUT_BYTES.add((m * n * 4) as u64);
     let flops = m * n * k;
     let _timing = GEMM_TIMER.start_with(2 * flops as u64);
     let threads = pool.threads();
-    let parallel = threads > 1 && flops >= pool::gemm_grain().saturating_mul(threads) && m >= 2;
+    // Two gates: enough work per worker (grain) AND enough total work to
+    // amortise the fan-out itself (serial cutoff — see `gemm_serial_cutoff`
+    // for the measured small-size crossover).
+    let parallel = threads > 1
+        && flops >= pool::gemm_serial_cutoff()
+        && flops >= pool::gemm_grain().saturating_mul(threads)
+        && m >= 2;
     if !parallel {
         gemm_blocked(a.data(), b.data(), &mut out, m, k, n);
         return Tensor::from_vec(out, &[m, n]);
@@ -260,6 +275,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     let (m, k) = (a.shape()[0], a.shape()[1]);
     assert_eq!(k, x.shape()[0]);
     let mut out = vec![0.0f32; m];
+    MATVEC_OUT_BYTES.add((m * 4) as u64);
     let _timing = MATVEC_TIMER.start_with(2 * (m * k) as u64);
     let a_data = a.data();
     let x_data = x.data();
@@ -291,6 +307,7 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     assert_eq!(k, k2, "bmm inner dims disagree");
 
     let mut out = vec![0.0f32; ba * m * n];
+    BMM_OUT_BYTES.add((ba * m * n * 4) as u64);
     let pool = pool::global();
     let threads = pool.threads();
     let flops = ba * m * n * k;

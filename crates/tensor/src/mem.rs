@@ -1,0 +1,154 @@
+//! Tensor memory accounting.
+//!
+//! Every [`crate::Tensor`] allocation and drop reports its buffer size
+//! here, giving live/peak tensor bytes plus allocation counts. The numbers
+//! surface through `ist-obs` (gauges `tensor.live_bytes` /
+//! `tensor.peak_bytes`, counters `tensor.allocs` / `tensor.alloc_bytes`)
+//! via a registered flush hook, and the trainer stamps the per-epoch peak
+//! into its `train.epoch` span.
+//!
+//! ## Cost model
+//!
+//! Accounting is active only while profiling is on (`IST_METRICS` or
+//! `IST_TRACE`); the disabled path is two relaxed atomic loads per tensor
+//! construction/drop — no locking, no syscalls. Frees saturate at zero so
+//! tensors allocated before profiling was enabled can never wrap the live
+//! gauge; consequently, when profiling is switched on mid-process the live
+//! value is approximate until pre-existing tensors have drained.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use ist_obs::{Counter, FlushHook, Gauge};
+
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static EPOCH_PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static HOOKED: AtomicBool = AtomicBool::new(false);
+
+static LIVE_GAUGE: Gauge = Gauge::new("tensor.live_bytes");
+static PEAK_GAUGE: Gauge = Gauge::new("tensor.peak_bytes");
+static ALLOCS: Counter = Counter::new("tensor.allocs");
+static ALLOCS_BYTES: Counter = Counter::new("tensor.alloc_bytes");
+
+#[inline]
+fn profiling() -> bool {
+    ist_obs::enabled() || ist_obs::trace_enabled()
+}
+
+/// Called by every tensor constructor with the element count.
+#[inline]
+pub(crate) fn on_alloc(elems: usize) {
+    if !profiling() {
+        return;
+    }
+    track_alloc(elems as u64 * 4);
+}
+
+/// Called on tensor drop (and buffer hand-off) with the element count.
+#[inline]
+pub(crate) fn on_free(elems: usize) {
+    if !profiling() {
+        return;
+    }
+    let bytes = elems as u64 * 4;
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+        Some(v.saturating_sub(bytes))
+    });
+}
+
+#[cold]
+fn track_alloc(bytes: u64) {
+    if !HOOKED.swap(true, Ordering::Relaxed) {
+        ist_obs::register_flush_hook(FlushHook {
+            name: "tensor.mem",
+            sync,
+            json_lines: |_| {},
+            summary: |_| {},
+            reset,
+        });
+    }
+    let live = LIVE_BYTES.fetch_add(bytes, Ordering::Relaxed) + bytes;
+    PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    EPOCH_PEAK_BYTES.fetch_max(live, Ordering::Relaxed);
+    ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(bytes, Ordering::Relaxed);
+}
+
+/// Publishes the current accounting state into the obs gauges/counters
+/// (runs automatically before every obs snapshot or summary render).
+fn sync() {
+    LIVE_GAUGE.set(LIVE_BYTES.load(Ordering::Relaxed));
+    PEAK_GAUGE.set(PEAK_BYTES.load(Ordering::Relaxed));
+    let n = ALLOC_COUNT.swap(0, Ordering::Relaxed);
+    if n > 0 {
+        ALLOCS.add(n);
+    }
+    let b = ALLOC_BYTES.swap(0, Ordering::Relaxed);
+    if b > 0 {
+        ALLOCS_BYTES.add(b);
+    }
+}
+
+fn reset() {
+    LIVE_BYTES.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    EPOCH_PEAK_BYTES.store(0, Ordering::Relaxed);
+    ALLOC_COUNT.store(0, Ordering::Relaxed);
+    ALLOC_BYTES.store(0, Ordering::Relaxed);
+}
+
+/// Bytes currently held by live tensors (0 unless profiling is on).
+pub fn live_bytes() -> u64 {
+    LIVE_BYTES.load(Ordering::Relaxed)
+}
+
+/// Process-wide high-water mark of live tensor bytes.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+/// Restarts the per-epoch peak from the current live value; the trainer
+/// calls this at the top of every epoch.
+pub fn begin_epoch() {
+    EPOCH_PEAK_BYTES.store(LIVE_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+}
+
+/// High-water mark since the last [`begin_epoch`].
+pub fn epoch_peak_bytes() -> u64 {
+    EPOCH_PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tensor;
+
+    #[test]
+    fn accounting_tracks_alloc_and_free() {
+        // Other tests in this binary may allocate concurrently, so use a
+        // buffer far larger than their combined churn and assert with
+        // headroom rather than exact equality.
+        const ELEMS: usize = 2 * 1024 * 1024; // 8 MB
+        const BYTES: u64 = ELEMS as u64 * 4;
+        ist_obs::set_mode(ist_obs::Mode::Summary);
+        let before = live_bytes();
+        let t = Tensor::zeros(&[ELEMS]);
+        let after_alloc = live_bytes();
+        assert!(
+            after_alloc + BYTES / 2 >= before + BYTES,
+            "live bytes should grow by roughly the tensor size \
+             (before={before}, after={after_alloc})"
+        );
+        assert!(peak_bytes() + BYTES / 2 >= after_alloc);
+        drop(t);
+        let after_free = live_bytes();
+        assert!(
+            after_free <= after_alloc - BYTES / 2,
+            "live bytes should shrink by roughly the tensor size \
+             (alloc={after_alloc}, free={after_free})"
+        );
+        ist_obs::set_mode(ist_obs::Mode::Off);
+    }
+}

@@ -151,6 +151,9 @@ impl ThreadPool {
             match job {
                 Some(job) => {
                     POOL_HELPED.add(1);
+                    // Help-steals carry their own trace category so a
+                    // timeline shows which thread actually ran each task.
+                    let _t = ist_obs::trace::scope_cat("pool.task", "pool.help");
                     job();
                 }
                 None => {
@@ -186,6 +189,7 @@ fn worker_loop(shared: &Shared) {
                 }
             }
         };
+        let _t = ist_obs::trace::scope_cat("pool.task", "pool");
         job();
     }
 }
@@ -225,6 +229,23 @@ pub fn gemm_grain() -> usize {
             .ok()
             .and_then(|v| v.trim().parse::<usize>().ok())
             .unwrap_or(1 << 18)
+    })
+}
+
+/// Small-GEMM serial cutoff: total multiply-add count below which a matmul
+/// never engages the pool, regardless of thread count. BENCH_gemm.json
+/// measured the fan-out overhead (enqueue + latch + wakeup) losing to the
+/// single-threaded blocked kernel up through 128³ (2 M flops, `blocked`
+/// 22.7 vs `blocked_pool`@4 14.0 GFLOP/s) and only breaking even above
+/// ~256³; the default cutoff of 2²³ (≈8.4 M) keeps everything at or below
+/// ~200³ serial. Tunable via `IST_PAR_MIN_FLOPS`.
+pub fn gemm_serial_cutoff() -> usize {
+    static CUTOFF: OnceLock<usize> = OnceLock::new();
+    *CUTOFF.get_or_init(|| {
+        std::env::var("IST_PAR_MIN_FLOPS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .unwrap_or(1 << 23)
     })
 }
 

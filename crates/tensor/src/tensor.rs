@@ -2,15 +2,32 @@
 //! array, plus structural operations (reshape, transpose, gather/scatter,
 //! concatenation, slicing).
 
+use crate::mem;
 use crate::shape::{check_reshape, num_elements, strides_for};
 
 /// A dense, contiguous, row-major `f32` tensor.
 ///
 /// Invariant: `data.len() == shape.iter().product()` at all times.
-#[derive(Clone, PartialEq)]
+///
+/// Construction and drop report buffer sizes to [`crate::mem`] (live/peak
+/// tensor-byte accounting); the hooks cost two relaxed atomic loads each
+/// when profiling is off.
+#[derive(PartialEq)]
 pub struct Tensor {
     data: Vec<f32>,
     shape: Vec<usize>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Tensor {
+        Tensor::tracked(self.data.clone(), self.shape.clone())
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        mem::on_free(self.data.len());
+    }
 }
 
 impl std::fmt::Debug for Tensor {
@@ -25,21 +42,22 @@ impl std::fmt::Debug for Tensor {
 impl Tensor {
     // ----- constructors -------------------------------------------------
 
+    /// The single construction funnel: every new tensor buffer passes
+    /// through here so memory accounting sees each allocation exactly once.
+    fn tracked(data: Vec<f32>, shape: Vec<usize>) -> Tensor {
+        mem::on_alloc(data.len());
+        Tensor { data, shape }
+    }
+
     /// Builds a tensor from raw data and a shape. Panics if sizes disagree.
     pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
         check_reshape(data.len(), shape);
-        Tensor {
-            data,
-            shape: shape.to_vec(),
-        }
+        Tensor::tracked(data, shape.to_vec())
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor {
-            data: vec![value; num_elements(shape)],
-            shape: shape.to_vec(),
-        }
+        Tensor::tracked(vec![value; num_elements(shape)], shape.to_vec())
     }
 
     /// All zeros.
@@ -54,10 +72,7 @@ impl Tensor {
 
     /// Rank-0 scalar.
     pub fn scalar(value: f32) -> Self {
-        Tensor {
-            data: vec![value],
-            shape: vec![],
-        }
+        Tensor::tracked(vec![value], vec![])
     }
 
     /// Identity matrix of size `n × n`.
@@ -102,8 +117,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns the backing buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    pub fn into_vec(mut self) -> Vec<f32> {
+        // The buffer leaves tensor accounting here; Drop then sees an
+        // empty vec and subtracts nothing.
+        mem::on_free(self.data.len());
+        std::mem::take(&mut self.data)
     }
 
     /// The single value of a scalar or 1-element tensor.
@@ -134,10 +152,7 @@ impl Tensor {
     /// Returns the same data under a new shape with equal element count.
     pub fn reshape(&self, shape: &[usize]) -> Tensor {
         check_reshape(self.data.len(), shape);
-        Tensor {
-            data: self.data.clone(),
-            shape: shape.to_vec(),
-        }
+        Tensor::tracked(self.data.clone(), shape.to_vec())
     }
 
     /// In-place reshape (avoids the buffer clone of [`Tensor::reshape`]).
@@ -162,10 +177,7 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Tensor {
-            data: out,
-            shape: vec![n, m],
-        }
+        Tensor::tracked(out, vec![n, m])
     }
 
     /// Transposes the last two axes of a tensor of rank ≥ 2
@@ -192,7 +204,7 @@ impl Tensor {
         }
         let mut shape = self.shape.clone();
         shape.swap(r - 2, r - 1);
-        Tensor { data: out, shape }
+        Tensor::tracked(out, shape)
     }
 
     /// Swaps the first two axes of a rank-3 tensor: `[A, B, C] → [B, A, C]`.
@@ -214,20 +226,14 @@ impl Tensor {
                 out[(j * a + i) * c..(j * a + i + 1) * c].copy_from_slice(src);
             }
         }
-        Tensor {
-            data: out,
-            shape: vec![b, a, c],
-        }
+        Tensor::tracked(out, vec![b, a, c])
     }
 
     /// Extracts row `i` of a 2-D tensor as a `[n]` tensor.
     pub fn row(&self, i: usize) -> Tensor {
         assert_eq!(self.rank(), 2);
         let n = self.shape[1];
-        Tensor {
-            data: self.data[i * n..(i + 1) * n].to_vec(),
-            shape: vec![n],
-        }
+        Tensor::tracked(self.data[i * n..(i + 1) * n].to_vec(), vec![n])
     }
 
     /// Gathers rows of a 2-D tensor: `out[r, :] = self[indices[r], :]`.
@@ -251,10 +257,7 @@ impl Tensor {
             );
             data.extend_from_slice(&self.data[ix * n..(ix + 1) * n]);
         }
-        Tensor {
-            data,
-            shape: vec![indices.len(), n],
-        }
+        Tensor::tracked(data, vec![indices.len(), n])
     }
 
     /// Scatter-add of rows: `self[indices[r], :] += src[r, :]`.
@@ -290,10 +293,7 @@ impl Tensor {
         for p in parts {
             data.extend_from_slice(&p.data);
         }
-        Tensor {
-            data,
-            shape: vec![rows, n],
-        }
+        Tensor::tracked(data, vec![rows, n])
     }
 
     /// Slices rows `[start, end)` of a 2-D tensor.
@@ -301,10 +301,7 @@ impl Tensor {
         assert_eq!(self.rank(), 2);
         assert!(start <= end && end <= self.shape[0]);
         let n = self.shape[1];
-        Tensor {
-            data: self.data[start * n..end * n].to_vec(),
-            shape: vec![end - start, n],
-        }
+        Tensor::tracked(self.data[start * n..end * n].to_vec(), vec![end - start, n])
     }
 
     /// Materialises this tensor broadcast to `dims` (NumPy rules).
@@ -319,19 +316,13 @@ impl Tensor {
             for r in 0..dims[0] {
                 data[r * dims[1]..(r + 1) * dims[1]].copy_from_slice(&self.data);
             }
-            return Tensor {
-                data,
-                shape: dims.to_vec(),
-            };
+            return Tensor::tracked(data, dims.to_vec());
         }
         for (flat, slot) in data.iter_mut().enumerate() {
             let src = crate::shape::broadcast_source_index(flat, dims, &self.shape);
             *slot = self.data[src];
         }
-        Tensor {
-            data,
-            shape: dims.to_vec(),
-        }
+        Tensor::tracked(data, dims.to_vec())
     }
 
     /// Sums a tensor that was broadcast from `orig_dims` back down to
@@ -352,10 +343,7 @@ impl Tensor {
                     *o += v;
                 }
             }
-            return Tensor {
-                data: out,
-                shape: orig_dims.to_vec(),
-            };
+            return Tensor::tracked(out, orig_dims.to_vec());
         }
         // Fast path: last-axis collapse ([..., n] → [..., 1]).
         if orig_dims.len() == self.shape.len()
@@ -364,10 +352,7 @@ impl Tensor {
         {
             let n = *self.shape.last().expect("non-empty");
             let data: Vec<f32> = self.data.chunks_exact(n).map(|c| c.iter().sum()).collect();
-            return Tensor {
-                data,
-                shape: orig_dims.to_vec(),
-            };
+            return Tensor::tracked(data, orig_dims.to_vec());
         }
         let mut out = Tensor::zeros(orig_dims);
         for (flat, v) in self.data.iter().enumerate() {

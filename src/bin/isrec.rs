@@ -10,12 +10,19 @@
 //!                [--checkpoint-retain 3] [--resume true|false]
 //! isrec eval     --data data/beauty --snapshot model.bin [--max-users 250]
 //! isrec explain  --data data/beauty --snapshot model.bin [--user 0] [--top 5]
+//! isrec profile  [--steps 24] [--scale 0.12] [--trace-out trace.json]
+//! isrec graph-dump [--out tape.dot] [--batch-size 4]
 //! ```
 //!
 //! Every subcommand accepts `--metrics-out <path>`: telemetry (spans,
 //! counters, throughput) is written there as JSON lines, as if
-//! `IST_METRICS=json IST_METRICS_OUT=<path>` had been set. See README
-//! §Observability.
+//! `IST_METRICS=json IST_METRICS_OUT=<path>` had been set. Every subcommand
+//! also accepts `--trace-out <path>`: a chrome-trace timeline (load it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>) is written there on
+//! exit, as if `IST_TRACE=<path>` had been set. `profile` runs a short
+//! profiled training session on synthetic data and emits both artifacts;
+//! `graph-dump` prints one training step's autograd tape as Graphviz DOT.
+//! See README §Observability.
 //!
 //! `import` accepts `user,item,timestamp` (comma or tab separated) logs —
 //! the path for running the model on *real* datasets.
@@ -253,7 +260,91 @@ fn cmd_explain(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: isrec <generate|import|stats|train|eval|explain> [--flag value]…
+/// Synthetic dataset shared by `profile` and `graph-dump`: small enough to
+/// generate in milliseconds, large enough that attention/GCN/GEMM dominate.
+fn synthetic_dataset(args: &Args) -> Result<isrec_suite::data::SequentialDataset, String> {
+    let scale: f64 = args.num("scale", 0.12)?;
+    let seed: u64 = args.num("seed", 42)?;
+    Ok(IntentWorld::new(WorldConfig::epinions_like().scaled(scale)).generate(seed))
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    // `profile` always produces both artifacts: default the trace path and
+    // the metrics mode unless the user (or the environment) already chose.
+    if !isrec_suite::obs::trace_enabled() {
+        isrec_suite::obs::trace::set_trace_path(
+            args.get("trace-out").unwrap_or("isrec-trace.json"),
+        );
+    }
+    if !isrec_suite::obs::enabled() {
+        isrec_suite::obs::set_mode(isrec_suite::obs::Mode::Summary);
+    }
+
+    let steps: usize = args.num("steps", 24)?;
+    let ds = synthetic_dataset(args)?;
+    let split = LeaveOneOut::split(&ds.sequences);
+    let mut model = build_model(&ds, args)?;
+    let batch_size: usize = args.num("batch-size", 32)?;
+    let steps_per_epoch = split.train.len().div_ceil(batch_size).max(1);
+    let train = TrainConfig {
+        epochs: steps.div_ceil(steps_per_epoch).max(1),
+        batch_size,
+        seed: args.num("seed", 42)?,
+        ..TrainConfig::smoke()
+    };
+    let report = model.fit(&ds, &split, &train);
+    println!(
+        "profiled {} epochs (~{} steps each) on `{}`: loss {:.4} → {:.4}",
+        report.epoch_losses.len(),
+        steps_per_epoch,
+        ds.name,
+        report.epoch_losses.first().copied().unwrap_or(0.0),
+        report.epoch_losses.last().copied().unwrap_or(0.0)
+    );
+    let totals = isrec_suite::autograd::profile::totals();
+    println!(
+        "autograd op attribution: {:.1}% of measured forward+backward time",
+        totals.coverage() * 100.0
+    );
+    let (scopes, dropped) = isrec_suite::obs::trace::record_counts();
+    println!("trace: {scopes} scopes recorded ({dropped} dropped by the ring)");
+    Ok(())
+}
+
+fn cmd_graph_dump(args: &Args) -> Result<(), String> {
+    let ds = synthetic_dataset(args)?;
+    let split = LeaveOneOut::split(&ds.sequences);
+    let model = build_model(&ds, args)?;
+    let batcher = model.batcher(args.num("batch-size", 4)?);
+    let user_ids: Vec<usize> = (0..split.train.len()).collect();
+    let batches = batcher.batches(&split.train, &user_ids);
+    let batch = batches
+        .first()
+        .ok_or("synthetic dataset produced no batch")?;
+
+    // One training step's tape: forward + loss (backward adds no nodes).
+    let mut ctx = isrec_suite::nn::Ctx::train(args.num("seed", 42)?);
+    let (logits, _) = model.forward_logits(&mut ctx, batch, false);
+    let loss =
+        isrec_suite::autograd::fused::cross_entropy_rows(&logits, &batch.targets, &batch.weights);
+    let dot = ctx.tape.to_dot();
+    eprintln!(
+        "tape: {} nodes, loss {:.4}",
+        ctx.tape.len(),
+        loss.value().item()
+    );
+    match args.get("out") {
+        Some(path) => {
+            std::fs::write(path, &dot).map_err(|e| format!("write {path}: {e}"))?;
+            println!("wrote {} bytes of DOT to {path}", dot.len());
+        }
+        None => print!("{dot}"),
+    }
+    Ok(())
+}
+
+const USAGE: &str =
+    "usage: isrec <generate|import|stats|train|eval|explain|profile|graph-dump> [--flag value]…
 run with a subcommand; see the module docs at the top of src/bin/isrec.rs";
 
 fn main() -> ExitCode {
@@ -269,6 +360,9 @@ fn main() -> ExitCode {
             isrec_suite::obs::set_mode(isrec_suite::obs::Mode::Json);
         }
     }
+    if let Some(path) = args.get("trace-out") {
+        isrec_suite::obs::trace::set_trace_path(path);
+    }
     let Some(cmd) = args.positional.first().map(|s| s.as_str()) else {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
@@ -280,6 +374,8 @@ fn main() -> ExitCode {
         "train" => cmd_train(&args),
         "eval" => cmd_eval(&args),
         "explain" => cmd_explain(&args),
+        "profile" => cmd_profile(&args),
+        "graph-dump" => cmd_graph_dump(&args),
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     };
     isrec_suite::obs::flush();
