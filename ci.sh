@@ -14,12 +14,29 @@
 # Usage:
 #   ./ci.sh          # run every stage
 #   ./ci.sh gate     # just the tier-1 gate (build + tests)
-#   ./ci.sh fmt | clippy | bench | determinism | faults | metrics | trace
+#   ./ci.sh fmt | clippy | bench | determinism | faults | metrics | trace | serve
 
 set -euo pipefail
 cd "$(dirname "$0")"
 
 stage() { printf '\n=== %s ===\n' "$1"; }
+
+# Temp-file hygiene: a single EXIT trap over a global list. Stages used to
+# set per-function `trap … RETURN` cleanups, but `exit 1` on a failure path
+# (or `set -e` aborting a cargo invocation) skips RETURN traps entirely and
+# leaked the files; EXIT fires on every termination path. The helpers
+# assign into a named variable (`mktemp_tracked t1`) rather than printing,
+# because `t1=$(mktemp_tracked)` would grow TMP_CLEANUP inside a command
+# substitution subshell where the parent never sees it.
+TMP_CLEANUP=()
+cleanup_tmp() {
+    if [ "${#TMP_CLEANUP[@]}" -gt 0 ]; then
+        rm -rf -- "${TMP_CLEANUP[@]}"
+    fi
+}
+trap cleanup_tmp EXIT
+mktemp_tracked()  { local t; t=$(mktemp);    TMP_CLEANUP+=("$t"); printf -v "$1" '%s' "$t"; }
+mktempd_tracked() { local t; t=$(mktemp -d); TMP_CLEANUP+=("$t"); printf -v "$1" '%s' "$t"; }
 
 run_gate() {
     stage "tier-1 gate: cargo build --release && cargo test -q"
@@ -48,8 +65,7 @@ run_determinism() {
     # reported losses must be byte-identical regardless of pool size: the
     # worker pool partitions work, it must never change results.
     local t1 t4
-    t1=$(mktemp); t4=$(mktemp)
-    trap 'rm -f "$t1" "$t4"' RETURN
+    mktemp_tracked t1; mktemp_tracked t4
     IST_THREADS=1 cargo run --release --locked --example quickstart 2>"$t1" >/dev/null
     IST_THREADS=4 cargo run --release --locked --example quickstart 2>"$t4" >/dev/null
     if ! diff <(grep '^epoch' "$t1") <(grep '^epoch' "$t4"); then
@@ -66,8 +82,7 @@ run_faults() {
     # the run must still finish with finite losses, log its recoveries,
     # and leave at least one valid checkpoint behind (see DESIGN.md §7).
     local log ckpt
-    log=$(mktemp); ckpt=$(mktemp -d)
-    trap 'rm -rf "$log" "$ckpt"' RETURN
+    mktemp_tracked log; mktempd_tracked ckpt
     IST_FAULTS='loss_nan@e1s3,torn_write@ckpt2,bitflip@ckpt1' IST_CKPT_DIR="$ckpt" \
         cargo run --release --locked --example quickstart >"$log" 2>&1
     if ! grep -q '^epoch' "$log"; then
@@ -97,8 +112,8 @@ run_metrics() {
     # ckpt.write spans appear), then validate every line is a JSON object
     # carrying the schema keys, and that the required probes all reported.
     local metrics ckpt t1 t4
-    metrics=$(mktemp); ckpt=$(mktemp -d); t1=$(mktemp); t4=$(mktemp)
-    trap 'rm -rf "$metrics" "$ckpt" "$t1" "$t4"' RETURN
+    mktemp_tracked metrics; mktempd_tracked ckpt
+    mktemp_tracked t1; mktemp_tracked t4
     IST_METRICS=json IST_METRICS_OUT="$metrics" IST_CKPT_DIR="$ckpt" \
         cargo run --release --locked --example quickstart >/dev/null 2>&1
     python3 - "$metrics" <<'EOF'
@@ -122,8 +137,11 @@ for i, line in enumerate(lines, 1):
     elif "counter" in obj:
         if "value" not in obj:
             sys.exit(f"FAIL: counter line {i} lacks value: {line!r}")
+    elif "histogram" in obj:
+        if not {"count", "p50", "p95", "p99"} <= obj.keys():
+            sys.exit(f"FAIL: histogram line {i} lacks quantiles: {line!r}")
     else:
-        sys.exit(f"FAIL: line {i} is neither span nor counter: {line!r}")
+        sys.exit(f"FAIL: line {i} is not a span/counter/histogram: {line!r}")
 missing = required - seen
 if missing:
     sys.exit(f"FAIL: no telemetry from probes: {sorted(missing)}")
@@ -148,8 +166,7 @@ run_trace() {
     # actually parallelise (single-core runners would otherwise never emit
     # pool.task scopes).
     local trace log
-    trace=$(mktemp); log=$(mktemp)
-    trap 'rm -f "$trace" "$log"' RETURN
+    mktemp_tracked trace; mktemp_tracked log
     IST_THREADS=4 cargo run --release --locked --bin isrec -- \
         profile --trace-out "$trace" | tee "$log"
     python3 - "$trace" <<'EOF'
@@ -213,6 +230,76 @@ EOF
     fi
 }
 
+run_serve() {
+    stage "serving gate: batched inference, latency report, bitwise batch/thread invariance"
+    # Train a small checkpoint, replay a synthetic 2000-request stream
+    # through `isrec serve`, validate the JSON report (finite p99, real
+    # batching, cache hits on a repeated-user stream), then re-serve the
+    # same stream under IST_SERVE_BATCH=1 vs 32 and IST_THREADS=1 vs 4 —
+    # the result fingerprint must be bitwise identical in all of them
+    # (batching/parallelism must never change scores).
+    local work
+    mktempd_tracked work
+    cargo run --release --locked --bin isrec -- \
+        generate --world beauty --scale 0.25 --seed 42 --out "$work/data" >/dev/null
+    cargo run --release --locked --bin isrec -- \
+        train --data "$work/data" --snapshot "$work/model.bin" \
+        --checkpoint-dir "$work/ckpts" --epochs 2 --max-len 20 >/dev/null
+    cargo run --release --locked --bin isrec -- \
+        serve --data "$work/data" --checkpoint-dir "$work/ckpts" \
+        --synthetic 2000 --report "$work/report_main.json" \
+        --metrics-out "$work/metrics.jsonl"
+    python3 - "$work/report_main.json" <<'EOF'
+import json, math, sys
+
+r = json.load(open(sys.argv[1]))
+if r.get("schema") != "isrec.serve_report.v1":
+    sys.exit(f"FAIL: unexpected report schema {r.get('schema')!r}")
+p99 = r["latency_us"]["p99"]
+if not (isinstance(p99, (int, float)) and math.isfinite(p99) and p99 > 0):
+    sys.exit(f"FAIL: p99 latency is not a positive finite number: {p99!r}")
+if r["batch"]["avg"] <= 1.0:
+    sys.exit(f"FAIL: average batch size {r['batch']['avg']} — micro-batcher never coalesced")
+if r["cache"]["hit_rate"] <= 0.0:
+    sys.exit("FAIL: zero cache hit rate on a repeated-user stream")
+if r["requests"] != 2000:
+    sys.exit(f"FAIL: expected 2000 requests, saw {r['requests']}")
+print(f"report ok: p99={p99}us avg_batch={r['batch']['avg']} hit_rate={r['cache']['hit_rate']}")
+EOF
+    python3 - "$work/metrics.jsonl" <<'EOF'
+import json, sys
+
+spans, hists = set(), set()
+for line in open(sys.argv[1]):
+    if not line.strip():
+        continue
+    obj = json.loads(line)
+    spans.add(obj.get("span"))
+    hists.add(obj.get("histogram"))
+missing = {"serve.request", "serve.batch"} - spans
+if missing:
+    sys.exit(f"FAIL: serve spans missing from telemetry: {sorted(missing)}")
+if "serve.request_us" not in hists:
+    sys.exit("FAIL: no serve.request_us latency histogram in telemetry")
+print("serve telemetry ok: spans + latency histogram present")
+EOF
+    local variant crc crcs=()
+    for variant in "IST_SERVE_BATCH=1" "IST_SERVE_BATCH=32" "IST_THREADS=1" "IST_THREADS=4"; do
+        env "$variant" cargo run --release --locked --bin isrec -- \
+            serve --data "$work/data" --checkpoint-dir "$work/ckpts" \
+            --synthetic 500 --report "$work/report_variant.json" >/dev/null
+        crc=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['scores_crc'])" \
+            "$work/report_variant.json")
+        echo "  $variant → scores_crc $crc"
+        crcs+=("$crc")
+    done
+    if [ "$(printf '%s\n' "${crcs[@]}" | sort -u | wc -l)" -ne 1 ]; then
+        echo "FAIL: scores are not bitwise identical across batch/thread configs" >&2
+        exit 1
+    fi
+    echo "scores bitwise identical across IST_SERVE_BATCH=1/32 and IST_THREADS=1/4"
+}
+
 case "${1:-all}" in
     gate)        run_gate ;;
     fmt)         run_fmt ;;
@@ -222,6 +309,7 @@ case "${1:-all}" in
     faults)      run_faults ;;
     metrics)     run_metrics ;;
     trace)       run_trace ;;
+    serve)       run_serve ;;
     all)
         run_gate
         run_fmt
@@ -231,10 +319,11 @@ case "${1:-all}" in
         run_faults
         run_metrics
         run_trace
+        run_serve
         printf '\nci.sh: all stages passed\n'
         ;;
     *)
-        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults|metrics|trace]" >&2
+        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults|metrics|trace|serve]" >&2
         exit 2
         ;;
 esac

@@ -25,6 +25,9 @@ struct TapeInner {
     nodes: Vec<Node>,
     /// `(param, leaf id)` registrations made through [`Param::leaf`].
     param_hooks: Vec<(Param, usize)>,
+    /// When false (inference tapes), recorded nodes keep their forward
+    /// value but drop parents and backward closures at record time.
+    grad_enabled: bool,
 }
 
 /// A recording of a forward computation.
@@ -45,12 +48,33 @@ impl Default for Tape {
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
+        Tape::with_grad(true)
+    }
+
+    /// An empty *inference* tape: the same `Var` ops run on it, but every
+    /// recorded node drops its parents and backward closure immediately, so
+    /// the tape never retains the backward graph (no captured input clones,
+    /// no closure allocations held across the forward pass). Calling
+    /// [`Tape::backward`] on such a tape panics, and [`Param::leaf`] records
+    /// a plain constant instead of a differentiable leaf.
+    pub fn no_grad() -> Self {
+        Tape::with_grad(false)
+    }
+
+    fn with_grad(grad_enabled: bool) -> Self {
         Tape {
             inner: Rc::new(RefCell::new(TapeInner {
                 nodes: Vec::new(),
                 param_hooks: Vec::new(),
+                grad_enabled,
             })),
         }
+    }
+
+    /// True when this tape records backward rules (the default); false for
+    /// [`Tape::no_grad`] inference tapes.
+    pub fn grad_enabled(&self) -> bool {
+        self.inner.borrow().grad_enabled
     }
 
     /// Number of recorded nodes (useful in tests / diagnostics).
@@ -90,12 +114,20 @@ impl Tape {
         &self,
         op: &'static str,
         value: Tensor,
-        parents: Vec<usize>,
-        backward: Option<BackwardFn>,
-        requires_grad: bool,
+        mut parents: Vec<usize>,
+        mut backward: Option<BackwardFn>,
+        mut requires_grad: bool,
     ) -> Var {
         crate::profile::note_output(op, value.len() as u64 * 4);
         let mut inner = self.inner.borrow_mut();
+        if !inner.grad_enabled {
+            // Inference tape: the backward closure (and whatever input
+            // clones it captured) is freed right here, before the node is
+            // stored, so the recording holds forward values only.
+            parents = Vec::new();
+            backward = None;
+            requires_grad = false;
+        }
         let id = inner.nodes.len();
         debug_assert!(
             parents.iter().all(|&p| p < id),
@@ -157,10 +189,11 @@ impl Tape {
     }
 
     pub(crate) fn register_param_hook(&self, param: &Param, id: usize) {
-        self.inner
-            .borrow_mut()
-            .param_hooks
-            .push((param.clone(), id));
+        let mut inner = self.inner.borrow_mut();
+        if !inner.grad_enabled {
+            return; // inference tapes never route gradients back
+        }
+        inner.param_hooks.push((param.clone(), id));
     }
 
     /// Runs the reverse sweep from the scalar `loss` node and accumulates
@@ -177,6 +210,10 @@ impl Tape {
         let _sweep = BWD_TIMER.start_with(loss.id as u64 + 1);
         let _window = crate::profile::backward_window();
         let inner = self.inner.borrow();
+        assert!(
+            inner.grad_enabled,
+            "backward() called on a no_grad inference tape"
+        );
         assert_eq!(
             inner.nodes[loss.id].value.len(),
             1,
@@ -476,6 +513,36 @@ mod tests {
         let grads = tape.backward(&loss);
         // d(a * detach(a))/da = detach(a) = 3, not 2a = 6.
         assert_eq!(grads[a.id()].as_ref().unwrap().item(), 3.0);
+    }
+
+    #[test]
+    fn no_grad_tape_matches_forward_values_without_backward_graph() {
+        let full = Tape::new();
+        let inf = Tape::no_grad();
+        assert!(full.grad_enabled());
+        assert!(!inf.grad_enabled());
+        let p = Param::new("w", Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]));
+        let run = |tape: &Tape| {
+            let w = p.leaf(tape);
+            crate::ops::relu(&crate::ops::scale(&w, 2.0)).value()
+        };
+        assert_eq!(run(&full).data(), run(&inf).data());
+        // The inference recording keeps values but no gradient structure.
+        let inner = inf.inner.borrow();
+        assert!(inner.param_hooks.is_empty());
+        assert!(inner
+            .nodes
+            .iter()
+            .all(|n| n.parents.is_empty() && n.backward.is_none() && !n.requires_grad));
+    }
+
+    #[test]
+    #[should_panic(expected = "no_grad inference tape")]
+    fn backward_on_no_grad_tape_panics() {
+        let tape = Tape::no_grad();
+        let a = tape.leaf(Tensor::scalar(2.0));
+        let loss = crate::ops::sum_all(&crate::ops::mul(&a, &a));
+        tape.backward(&loss);
     }
 
     #[test]

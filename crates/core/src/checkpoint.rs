@@ -176,6 +176,46 @@ impl CheckpointManager {
         }
         None
     }
+
+    /// Serving-side variant of [`CheckpointManager::load_latest`]: restores
+    /// parameter *values* only, ignoring (and not requiring) trainer state,
+    /// and returns the epoch restored from.
+    ///
+    /// `newer_than` filters to strictly newer epochs so a hot-reload poll
+    /// never re-applies (or regresses to) the checkpoint already being
+    /// served. Validation is all-before-apply ([`snapshot::load_full`]), so
+    /// a torn or corrupt file is skipped with a warning and `params` are
+    /// left untouched by it — the engine keeps serving the old weights.
+    pub fn load_latest_values(&self, params: &[Param], newer_than: Option<u64>) -> Option<u64> {
+        for (epoch, path) in self.list().into_iter().rev() {
+            if let Some(floor) = newer_than {
+                if epoch <= floor {
+                    // list() is sorted; everything further back is older.
+                    return None;
+                }
+            }
+            let raw = match fs::read(&path) {
+                Ok(raw) => raw,
+                Err(e) => {
+                    eprintln!("warning: skipping unreadable checkpoint {path:?}: {e}");
+                    continue;
+                }
+            };
+            match snapshot::load_full(params, raw.into()) {
+                Ok((restored, _)) if restored == params.len() => return Some(epoch),
+                Ok((restored, _)) => {
+                    eprintln!(
+                        "warning: skipping checkpoint {path:?}: restored {restored}/{} params",
+                        params.len()
+                    );
+                }
+                Err(e) => {
+                    eprintln!("warning: skipping invalid checkpoint {path:?}: {e}");
+                }
+            }
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -249,6 +289,52 @@ mod tests {
         fs::write(dir.join("ckpt-00000007.ist"), b"not a snapshot").unwrap();
         fs::write(dir.join("unrelated.txt"), b"ignored").unwrap();
         assert!(mgr.load_latest(&[param(0.0)]).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_values_accepts_stateless_and_honors_newer_than() {
+        let dir = tmpdir("values");
+        let mut mgr = CheckpointManager::new(&dir, 10).unwrap();
+        let mut faults = FaultPlan::default();
+        // Epoch 3 is value-only (no trainer state) — fine for serving.
+        for epoch in 0..3 {
+            write_epoch(&mut mgr, &param(epoch as f32 * 10.0), epoch, &mut faults);
+        }
+        let p3 = param(30.0);
+        let bytes = snapshot::save(std::slice::from_ref(&p3)).unwrap();
+        mgr.save(3, bytes.as_ref(), &mut faults).unwrap();
+
+        let target = param(0.0);
+        let epoch = mgr
+            .load_latest_values(std::slice::from_ref(&target), None)
+            .unwrap();
+        assert_eq!(epoch, 3);
+        assert_eq!(target.value().data(), &[30.0, 31.0]);
+        // Already serving epoch 3 ⇒ nothing newer, values untouched.
+        target.set_value(Tensor::from_vec(vec![-1.0, -1.0], &[2]));
+        assert!(mgr
+            .load_latest_values(std::slice::from_ref(&target), Some(3))
+            .is_none());
+        assert_eq!(target.value().data(), &[-1.0, -1.0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_latest_values_skips_corrupt_newer() {
+        let dir = tmpdir("values-corrupt");
+        let mut mgr = CheckpointManager::new(&dir, 10).unwrap();
+        // Epoch 1 bit-flipped, epoch 2 torn: serving must fall back to 0.
+        let mut faults = FaultPlan::parse("bitflip@ckpt2,torn_write@ckpt3").unwrap();
+        for epoch in 0..3 {
+            write_epoch(&mut mgr, &param(epoch as f32 * 100.0), epoch, &mut faults);
+        }
+        let target = param(-5.0);
+        let epoch = mgr
+            .load_latest_values(std::slice::from_ref(&target), None)
+            .unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(target.value().data(), &[0.0, 1.0]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -338,9 +338,69 @@ impl Isrec {
         (logits, trace)
     }
 
+    /// No-tape inference forward for online serving: encodes each history
+    /// and returns the next-step representation `x_{t+1}` of its *newest*
+    /// position, one row per history (`[m, d]`).
+    ///
+    /// Runs on [`Ctx::inference`] (a `no_grad` tape), so no backward
+    /// closures are recorded; dropout is off and the Gumbel noise is zero,
+    /// making the result deterministic. Every stage of the eval forward is
+    /// row-wise (embeddings, per-row attention masks, per-row softmax/
+    /// layer-norm, and a GEMM whose per-row accumulation order is fixed),
+    /// so a history's row is **bitwise identical** regardless of which —
+    /// or how many — other histories share the batch. The serving engine's
+    /// batching and caching guarantees rest on this invariant (pinned by
+    /// `infer_last_repr_is_batch_size_invariant` below and the CI serve
+    /// stage).
+    pub fn infer_last_repr(&self, histories: &[&[usize]]) -> Tensor {
+        let m = histories.len();
+        let (t, d) = (self.cfg.max_len, self.cfg.d);
+        if m == 0 {
+            return Tensor::zeros(&[0, d]);
+        }
+        let batcher = self.batcher(m);
+        let batch = batcher.inference_batch(histories);
+        let mut ctx = Ctx::inference();
+        let x = self.encode(&mut ctx, &batch);
+        let (x_next, _) = self.intent_pipeline(&mut ctx, &x, false);
+        let v = x_next.value(); // [m*t, d]
+        let mut out = vec![0.0f32; m * d];
+        for bi in 0..m {
+            // Left padding ⇒ the newest position is always t-1.
+            let row = bi * t + (t - 1);
+            out[bi * d..(bi + 1) * d].copy_from_slice(&v.data()[row * d..(row + 1) * d]);
+        }
+        Tensor::from_vec(out, &[m, d])
+    }
+
+    /// The Eq.-12 output item table — item embeddings plus, when
+    /// `tie_concept_output` is set, the summed concept embeddings —
+    /// **transposed** to `[d, num_items]` so serving can score a stack of
+    /// [`Isrec::infer_last_repr`] rows with one GEMM. Recomputed once per
+    /// model load/reload, never per request.
+    pub fn output_item_table_t(&self) -> Tensor {
+        let ctx = Ctx::inference();
+        let table = self.item_emb.full(&ctx);
+        let mut items = ops::slice_rows(&table, 0, self.num_items);
+        if self.cfg.tie_concept_output {
+            let cbags = ops::bag_select_sum(
+                &self.concept_emb.full(&ctx),
+                &self.item_concepts[..self.num_items],
+            );
+            items = ops::add(&items, &cbags);
+        }
+        ops::transpose(&items).value()
+    }
+
     /// Pad item id (`num_items`).
     pub fn pad_id(&self) -> usize {
         self.pad_id
+    }
+
+    /// Maximum history length the encoder consumes; older interactions are
+    /// truncated away, which also bounds the serving cache key.
+    pub fn max_len(&self) -> usize {
+        self.cfg.max_len
     }
 
     /// The batcher matching this model's `max_len`/pad conventions.
@@ -579,6 +639,53 @@ mod tests {
                 "no gradient reached the learned adjacency"
             );
         }
+    }
+
+    #[test]
+    fn infer_last_repr_is_batch_size_invariant() {
+        // The serving engine's batching/caching correctness rests on a
+        // history's representation being bitwise identical no matter what
+        // else shares the forward batch.
+        let ds = tiny_dataset();
+        let model = tiny_model(&ds, IsrecVariant::Full);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let hists: Vec<Vec<usize>> = (0..4).map(|u| split.test_history(u)).collect();
+        let refs: Vec<&[usize]> = hists.iter().map(|h| h.as_slice()).collect();
+        let batched = model.infer_last_repr(&refs);
+        let d = batched.shape()[1];
+        for (i, h) in refs.iter().enumerate() {
+            let single = model.infer_last_repr(&[h]);
+            assert_eq!(
+                single.data(),
+                &batched.data()[i * d..(i + 1) * d],
+                "row {i} differs between batch sizes 1 and {}",
+                refs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn output_item_table_t_matches_forward_logits() {
+        // Scoring a representation against the transposed table must agree
+        // with the training-path Eq. 12 logits for the same position.
+        let ds = tiny_dataset();
+        let model = tiny_model(&ds, IsrecVariant::Full);
+        let split = LeaveOneOut::split(&ds.sequences);
+        let hist = split.test_history(0);
+        let table_t = model.output_item_table_t();
+        assert_eq!(table_t.shape(), vec![16, ds.num_items]);
+        let repr = model.infer_last_repr(&[&hist]);
+        let scores = ist_tensor::matmul::matmul(&repr, &table_t);
+
+        let batcher = model.batcher(1);
+        let batch = batcher.inference_batch(&[&hist]);
+        let mut ctx = Ctx::eval();
+        let (logits, _) = model.forward_logits(&mut ctx, &batch, false);
+        let last = (batch.len - 1) * ds.num_items;
+        assert_eq!(
+            scores.data(),
+            &logits.value().data()[last..last + ds.num_items]
+        );
     }
 
     #[test]

@@ -36,6 +36,18 @@ impl Ctx {
         }
     }
 
+    /// Inference-mode context: like [`Ctx::eval`] but on a
+    /// [`Tape::no_grad`] tape, so the forward pass records no backward
+    /// closures or parent links — the memory-lean path for online serving,
+    /// where the tape is dropped right after the scores are read.
+    pub fn inference() -> Self {
+        Ctx {
+            tape: Tape::no_grad(),
+            training: false,
+            rng: SeedRng::seed(0),
+        }
+    }
+
     /// Records a constant on this context's tape.
     pub fn constant(&self, t: Tensor) -> Var {
         self.tape.constant(t)
@@ -61,6 +73,16 @@ pub fn dropout(ctx: &mut Ctx, x: &Var, p: f32) -> Var {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn inference_ctx_is_eval_mode_on_a_no_grad_tape() {
+        let mut ctx = Ctx::inference();
+        assert!(!ctx.training);
+        assert!(!ctx.tape.grad_enabled());
+        let x = ctx.tape.leaf(Tensor::ones(&[3, 3]));
+        let y = dropout(&mut ctx, &x, 0.5);
+        assert_eq!(y.value().data(), x.value().data());
+    }
 
     #[test]
     fn eval_mode_is_identity() {

@@ -137,6 +137,7 @@ struct Registry {
     counters: Vec<&'static Counter>,
     gauges: Vec<&'static Gauge>,
     timers: Vec<&'static Timer>,
+    histograms: Vec<&'static Histogram>,
     spans: BTreeMap<&'static str, SpanStat>,
 }
 
@@ -422,6 +423,127 @@ impl Drop for TimerGuard {
 }
 
 // ---------------------------------------------------------------------------
+// Histogram (lock-free log2-bucket latency distribution)
+// ---------------------------------------------------------------------------
+
+/// Number of log2 buckets. Bucket 0 holds the value 0; bucket `i` (1..63)
+/// holds `[2^(i-1), 2^i)`; the last bucket absorbs everything above.
+const HIST_BUCKETS: usize = 64;
+
+/// A static, lock-free distribution of `u64` samples over log2 buckets —
+/// built for latency quantiles (p50/p95/p99) where a [`Timer`]'s mean hides
+/// the tail. Recording is two relaxed `fetch_add`s plus one on the bucket;
+/// quantiles interpolate linearly inside the hit bucket, so they are exact
+/// to within one octave (plenty for latency reporting, and the summary
+/// prints them next to the true mean).
+///
+/// Like every probe here it is inert when telemetry is off and
+/// self-registers on first enabled use.
+pub struct Histogram {
+    name: &'static str,
+    unit: &'static str,
+    buckets: [AtomicU64; HIST_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    /// Const constructor with a sample-unit label (`"us"`, `"rows"`, …).
+    pub const fn with_unit(name: &'static str, unit: &'static str) -> Histogram {
+        // Array-repeat needs a const item on rust 1.75 (AtomicU64 is not
+        // Copy). Interior mutability is harmless here: the const exists
+        // only to seed the array; each element is a distinct atomic.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            unit,
+            buckets: [ZERO; HIST_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// Records one sample; a no-op (one relaxed-load branch) when telemetry
+    /// is off.
+    #[inline]
+    pub fn record(&'static self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            lock_tolerant(registry()).histograms.push(self);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+        }
+    }
+
+    /// `[lo, hi]` value range covered by bucket `i`.
+    fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 0),
+            _ if i == HIST_BUCKETS - 1 => (1u64 << (i - 1), u64::MAX),
+            _ => (1u64 << (i - 1), (1u64 << i) - 1),
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean of recorded samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        self.sum.load(Ordering::Relaxed) as f64 / n as f64
+    }
+
+    /// The `q`-quantile (`q` in `[0,1]`) with linear interpolation inside
+    /// the hit bucket; 0.0 when empty. `quantile(0.99)` is the p99.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target sample, 1-based (ceil, so q=1.0 → the max).
+        let rank = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let in_bucket = b.load(Ordering::Relaxed);
+            if in_bucket == 0 {
+                continue;
+            }
+            if seen + in_bucket >= rank {
+                let (lo, hi) = Self::bucket_range(i);
+                // Assume samples spread evenly across the bucket's range;
+                // cap the open-ended last bucket at one octave.
+                let hi = if i == HIST_BUCKETS - 1 { lo * 2 } else { hi };
+                let into = (rank - seen) as f64 / in_bucket as f64;
+                return lo as f64 + (hi - lo) as f64 * into;
+            }
+            seen += in_bucket;
+        }
+        0.0
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Span (event-emitting RAII scope)
 // ---------------------------------------------------------------------------
 
@@ -617,6 +739,19 @@ fn counter_json(name: &str, value: u64) -> String {
     format!("{{\"counter\":{},\"value\":{value}}}", json_string(name))
 }
 
+fn histogram_json(h: &Histogram) -> String {
+    format!(
+        "{{\"histogram\":{},\"count\":{},\"mean\":{:.1},\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1},\"unit\":{}}}",
+        json_string(h.name),
+        h.count(),
+        h.mean(),
+        h.quantile(0.50),
+        h.quantile(0.95),
+        h.quantile(0.99),
+        json_string(h.unit)
+    )
+}
+
 // ---------------------------------------------------------------------------
 // Flush hooks (other crates contribute report sections)
 // ---------------------------------------------------------------------------
@@ -675,6 +810,9 @@ pub fn snapshot_json() -> Vec<String> {
         let reg = lock_tolerant(registry());
         for t in reg.timers.iter().filter(|t| t.count() > 0) {
             out.push(timer_json(t));
+        }
+        for h in reg.histograms.iter().filter(|h| h.count() > 0) {
+            out.push(histogram_json(h));
         }
         for c in &reg.counters {
             out.push(counter_json(c.name, c.get()));
@@ -754,6 +892,24 @@ pub fn render_summary() -> String {
             ));
         }
     }
+    let hists: Vec<&&Histogram> = reg.histograms.iter().filter(|h| h.count() > 0).collect();
+    if !hists.is_empty() {
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+            "histogram", "count", "mean", "p50", "p95", "p99"
+        ));
+        for h in hists {
+            out.push_str(&format!(
+                "{:<28} {:>8} {:>10.1} {:>10.1} {:>10.1} {:>10.1}\n",
+                format!("{} ({})", h.name, h.unit),
+                h.count(),
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99)
+            ));
+        }
+    }
     if !reg.counters.is_empty() || !reg.gauges.is_empty() {
         out.push_str(&format!("{:<28} {:>8}\n", "counter", "value"));
         for c in &reg.counters {
@@ -786,6 +942,13 @@ pub fn reset() {
             t.count.store(0, Ordering::Relaxed);
             t.total_ns.store(0, Ordering::Relaxed);
             t.units.store(0, Ordering::Relaxed);
+        }
+        for h in &reg.histograms {
+            h.count.store(0, Ordering::Relaxed);
+            h.sum.store(0, Ordering::Relaxed);
+            for b in &h.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
         }
         reg.spans.clear();
     }
@@ -932,6 +1095,72 @@ mod tests {
             .find(|l| l.contains("test.flush_counter"))
             .expect("counter aggregate emitted");
         assert!(counter_line.contains("\"value\":42"));
+    }
+
+    #[test]
+    fn histogram_quantiles_bound_the_true_values() {
+        let _guard = mode_lock();
+        set_mode(Mode::Summary);
+        static H: Histogram = Histogram::with_unit("test.hist", "us");
+        reset();
+        // 1..=1000 → true p50=500, p95=950, p99=990; log2 buckets must land
+        // within one octave of each.
+        for v in 1..=1000u64 {
+            H.record(v);
+        }
+        assert_eq!(H.count(), 1000);
+        assert!((H.mean() - 500.5).abs() < 1e-9);
+        for (q, truth) in [(0.50, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = H.quantile(q);
+            assert!(
+                est >= truth / 2.0 && est <= truth * 2.0,
+                "q={q}: est {est} vs true {truth}"
+            );
+        }
+        assert!(H.quantile(0.99).is_finite());
+        let table = render_summary();
+        assert!(table.contains("test.hist"), "{table}");
+        reset();
+        assert_eq!(H.count(), 0);
+        assert_eq!(H.quantile(0.5), 0.0);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn histogram_flush_emits_a_parseable_line() {
+        let _guard = mode_lock();
+        set_mode(Mode::Json);
+        let buf = SharedBuf::default();
+        set_output(Box::new(buf.clone()));
+        reset();
+        static H: Histogram = Histogram::with_unit("test.hist_json", "us");
+        for v in [1u64, 10, 100, 1000, 10_000] {
+            H.record(v);
+        }
+        flush();
+        set_mode(Mode::Off);
+        let text = buf.contents();
+        let line = text
+            .lines()
+            .find(|l| l.contains("test.hist_json"))
+            .expect("histogram line emitted");
+        assert!(line.starts_with("{\"histogram\":\"test.hist_json\",\"count\":5"));
+        assert!(line.contains("\"p99\":"));
+        assert!(line.contains("\"unit\":\"us\""));
+        assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn histogram_edge_buckets() {
+        // Bucket maths: 0 and u64::MAX must not panic or misplace.
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), HIST_BUCKETS - 1);
+        let (lo, hi) = Histogram::bucket_range(HIST_BUCKETS - 1);
+        assert!(lo < hi);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! LRU cache of final-position history representations.
+
+use std::collections::HashMap;
+
+/// An LRU map from *effective history* (the last `max_len` items — all the
+/// encoder ever sees) to the final-position representation row produced by
+/// `Isrec::infer_last_repr`.
+///
+/// Keys are exact item sequences, not hashes of them, so a hit can never
+/// alias a different history — correctness over memory. Recency is a
+/// monotone tick stamped on insert and on every hit; eviction scans for
+/// the minimum stamp, which is `O(len)` but only runs when the cache is
+/// full (capacities are small enough — `IST_SERVE_CACHE`, default 1024 —
+/// that the scan is noise next to a forward pass).
+pub struct ReprCache {
+    map: HashMap<Vec<usize>, Entry>,
+    capacity: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+struct Entry {
+    repr: Vec<f32>,
+    last_used: u64,
+}
+
+impl ReprCache {
+    /// A cache holding at most `capacity` entries; 0 disables caching
+    /// (every lookup misses, nothing is stored).
+    pub fn new(capacity: usize) -> ReprCache {
+        ReprCache {
+            map: HashMap::new(),
+            capacity,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up the representation for `key`, refreshing its recency.
+    pub fn get(&mut self, key: &[usize]) -> Option<&[f32]> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = self.tick;
+                self.hits += 1;
+                Some(&entry.repr)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores `repr` under `key`, evicting the least-recently-used entry
+    /// when full. A no-op at capacity 0.
+    pub fn insert(&mut self, key: Vec<usize>, repr: Vec<f32>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        let tick = self.tick;
+        self.map.insert(
+            key,
+            Entry {
+                repr,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Drops every entry (hot reload: old-model reprs must not survive a
+    /// weight swap). Hit/miss statistics are kept.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are held.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_refreshes_recency_and_counts() {
+        let mut c = ReprCache::new(2);
+        c.insert(vec![1], vec![1.0]);
+        c.insert(vec![2], vec![2.0]);
+        assert_eq!(c.get(&[1]), Some(&[1.0][..]));
+        // [1] was just used, so inserting a third entry evicts [2].
+        c.insert(vec![3], vec![3.0]);
+        assert_eq!(c.len(), 2);
+        assert!(c.get(&[2]).is_none());
+        assert!(c.get(&[1]).is_some());
+        assert!(c.get(&[3]).is_some());
+        let (hits, misses) = c.stats();
+        assert_eq!((hits, misses), (3, 1));
+    }
+
+    #[test]
+    fn eviction_is_least_recently_used() {
+        let mut c = ReprCache::new(3);
+        for i in 0..3usize {
+            c.insert(vec![i], vec![i as f32]);
+        }
+        let _ = c.get(&[0]); // 0 newest, 1 oldest
+        c.insert(vec![9], vec![9.0]);
+        assert!(c.get(&[1]).is_none(), "LRU entry should be evicted");
+        assert!(c.get(&[0]).is_some());
+        assert!(c.get(&[2]).is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut c = ReprCache::new(2);
+        c.insert(vec![1], vec![1.0]);
+        c.insert(vec![2], vec![2.0]);
+        c.insert(vec![1], vec![1.5]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&[1]), Some(&[1.5][..]));
+        assert!(c.get(&[2]).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage() {
+        let mut c = ReprCache::new(0);
+        c.insert(vec![1], vec![1.0]);
+        assert!(c.is_empty());
+        assert!(c.get(&[1]).is_none());
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_stats() {
+        let mut c = ReprCache::new(4);
+        c.insert(vec![1], vec![1.0]);
+        let _ = c.get(&[1]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats(), (1, 0));
+        assert!(c.get(&[1]).is_none());
+    }
+}

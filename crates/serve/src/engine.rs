@@ -1,0 +1,596 @@
+//! The score engine: a dedicated scorer thread owning the (`!Send`) model,
+//! fed by a micro-batching request queue.
+
+use std::collections::{HashMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use isrec_core::{snapshot, CheckpointManager, Isrec, IsrecConfig};
+use ist_data::SequentialDataset;
+use ist_nn::Module as _;
+use ist_tensor::matmul::matmul;
+use ist_tensor::Tensor;
+
+use crate::cache::ReprCache;
+use crate::topk::top_k;
+
+/// End-to-end request latency (enqueue → response), microseconds; the
+/// summary table renders its p50/p95/p99.
+static REQUEST_US: ist_obs::Histogram = ist_obs::Histogram::with_unit("serve.request_us", "us");
+/// Requests coalesced per forward pass.
+static BATCH_SIZE: ist_obs::Histogram = ist_obs::Histogram::with_unit("serve.batch_size", "req");
+
+/// Sentinel for "no checkpoint epoch" in the shared atomic.
+const NO_EPOCH: u64 = u64::MAX;
+
+/// Where the engine's weights come from.
+#[derive(Clone, Debug)]
+pub enum ModelSource {
+    /// A single value-only snapshot file (what `isrec train --snapshot`
+    /// writes). [`ScoreEngine::reload`] re-reads and re-validates it.
+    Snapshot(PathBuf),
+    /// A checkpoint directory: newest-valid-wins discovery at startup, and
+    /// [`ScoreEngine::reload`] picks up strictly newer valid checkpoints.
+    CheckpointDir(PathBuf),
+}
+
+/// Everything the scorer thread needs to build its model. The model itself
+/// is `!Send`, so this spec crosses the thread boundary instead.
+pub struct ModelSpec {
+    /// Dataset the model was trained on (vocabulary + concept graph).
+    pub dataset: SequentialDataset,
+    /// Architecture hyper-parameters — must match the trained weights.
+    pub config: IsrecConfig,
+    /// Init seed (irrelevant once weights load, but kept for parity with
+    /// the CLI's model construction).
+    pub seed: u64,
+    /// Weight source.
+    pub source: ModelSource,
+}
+
+/// Engine knobs; [`ServeConfig::from_env`] reads the `IST_SERVE_*`
+/// environment.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Maximum requests coalesced into one forward pass
+    /// (`IST_SERVE_BATCH`, default 32, minimum 1).
+    pub max_batch: usize,
+    /// How long the scorer waits for more requests after the first one
+    /// (`IST_SERVE_BATCH_TIMEOUT_US`, default 200µs; 0 scores whatever is
+    /// already queued).
+    pub batch_timeout: Duration,
+    /// LRU capacity of the history→representation cache
+    /// (`IST_SERVE_CACHE`, default 1024 entries; 0 disables caching).
+    pub cache_entries: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            batch_timeout: Duration::from_micros(200),
+            cache_entries: 1024,
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!("warning: ignoring invalid {name}={v:?} (expected an integer)");
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+impl ServeConfig {
+    /// Reads `IST_SERVE_BATCH`, `IST_SERVE_BATCH_TIMEOUT_US` and
+    /// `IST_SERVE_CACHE`, falling back to the defaults above.
+    pub fn from_env() -> Self {
+        let d = ServeConfig::default();
+        ServeConfig {
+            max_batch: env_u64("IST_SERVE_BATCH", d.max_batch as u64).max(1) as usize,
+            batch_timeout: Duration::from_micros(env_u64(
+                "IST_SERVE_BATCH_TIMEOUT_US",
+                d.batch_timeout.as_micros() as u64,
+            )),
+            cache_entries: env_u64("IST_SERVE_CACHE", d.cache_entries as u64) as usize,
+        }
+    }
+}
+
+/// One ranked item.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Recommendation {
+    /// Item id.
+    pub item: usize,
+    /// Model score (higher is better).
+    pub score: f32,
+}
+
+/// A point-in-time view of the engine's counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EngineStats {
+    /// Requests scored.
+    pub requests: u64,
+    /// Forward passes run.
+    pub batches: u64,
+    /// Largest batch observed.
+    pub max_batch: u64,
+    /// Representation-cache hits.
+    pub cache_hits: u64,
+    /// Representation-cache misses.
+    pub cache_misses: u64,
+    /// Successful weight swaps via [`ScoreEngine::reload`].
+    pub reloads: u64,
+    /// Checkpoint epoch currently serving (None for snapshot sources).
+    pub epoch: Option<u64>,
+}
+
+impl EngineStats {
+    /// Mean requests per forward pass.
+    pub fn avg_batch(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.requests as f64 / self.batches as f64
+    }
+
+    /// Cache hits / lookups (0.0 before any lookup).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.cache_hits as f64 / total as f64
+    }
+}
+
+/// One-shot response slot: the scorer fills it, the caller waits on it.
+struct Slot<T> {
+    cell: Mutex<Option<Result<T, String>>>,
+    ready: Condvar,
+}
+
+impl<T> Slot<T> {
+    fn new() -> Slot<T> {
+        Slot {
+            cell: Mutex::new(None),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn fill(&self, result: Result<T, String>) {
+        let mut cell = self.cell.lock().unwrap_or_else(|p| p.into_inner());
+        *cell = Some(result);
+        self.ready.notify_all();
+    }
+
+    fn wait(&self) -> Result<T, String> {
+        let mut cell = self.cell.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(result) = cell.take() {
+                return result;
+            }
+            cell = self.ready.wait(cell).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+enum Job {
+    Score {
+        history: Vec<usize>,
+        k: usize,
+        slot: Arc<Slot<Vec<Recommendation>>>,
+    },
+    Reload {
+        slot: Arc<Slot<Option<u64>>>,
+    },
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    requests: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    reloads: AtomicU64,
+    epoch: AtomicU64,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            max_batch: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            epoch: AtomicU64::new(NO_EPOCH),
+        }
+    }
+
+    fn lock_queue(&self) -> std::sync::MutexGuard<'_, QueueState> {
+        self.queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// A running inference engine. Construction ([`ScoreEngine::start`]) spawns
+/// the scorer thread, builds the model there, and loads weights; dropping
+/// the engine shuts the thread down. `&ScoreEngine` is shareable across
+/// client threads — [`recommend`](ScoreEngine::recommend) is `&self`.
+pub struct ScoreEngine {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ScoreEngine {
+    /// Builds the model on a fresh scorer thread and loads its weights.
+    /// Returns only once the model is ready to serve (or failed to load).
+    pub fn start(spec: ModelSpec, cfg: ServeConfig) -> Result<ScoreEngine, String> {
+        let shared = Arc::new(Shared::new());
+        let worker_shared = Arc::clone(&shared);
+        let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+        let worker = std::thread::Builder::new()
+            .name("ist-serve-scorer".into())
+            .spawn(move || scorer_thread(spec, cfg, worker_shared, ready_tx))
+            .map_err(|e| format!("spawn scorer thread: {e}"))?;
+        let mut engine = ScoreEngine {
+            shared,
+            worker: Some(worker),
+        };
+        match ready_rx.recv() {
+            Ok(Ok(())) => Ok(engine),
+            Ok(Err(e)) => {
+                engine.join_worker();
+                Err(e)
+            }
+            Err(_) => {
+                engine.join_worker();
+                Err("scorer thread died during startup".into())
+            }
+        }
+    }
+
+    /// Scores `history` against the full catalog and returns the top `k`
+    /// items, best first. Blocks until the scorer answers; concurrent
+    /// callers are coalesced into one forward pass.
+    pub fn recommend(&self, history: &[usize], k: usize) -> Result<Vec<Recommendation>, String> {
+        if history.is_empty() {
+            return Err("empty history: nothing to condition the model on".into());
+        }
+        let mut span = ist_obs::Span::enter("serve.request");
+        span.add_field("k", k);
+        let start = Instant::now();
+        let slot = Arc::new(Slot::new());
+        self.enqueue(Job::Score {
+            history: history.to_vec(),
+            k,
+            slot: Arc::clone(&slot),
+        })?;
+        let out = slot.wait();
+        REQUEST_US.record(start.elapsed().as_micros() as u64);
+        if let Ok(items) = &out {
+            span.add_field("items", items.len());
+        }
+        out
+    }
+
+    /// Re-checks the weight source. For a checkpoint dir, a strictly newer
+    /// checkpoint that passes every integrity check is swapped in (and its
+    /// epoch returned); corrupt or torn files are skipped with a warning
+    /// and `Ok(None)` — the old model keeps serving. For a snapshot file,
+    /// the file is re-validated and re-applied (returns `Ok(None)`).
+    /// Every swap clears the representation cache.
+    pub fn reload(&self) -> Result<Option<u64>, String> {
+        let slot = Arc::new(Slot::new());
+        self.enqueue(Job::Reload {
+            slot: Arc::clone(&slot),
+        })?;
+        slot.wait()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> EngineStats {
+        let epoch = self.shared.epoch.load(Ordering::Relaxed);
+        EngineStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            max_batch: self.shared.max_batch.load(Ordering::Relaxed),
+            cache_hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
+            reloads: self.shared.reloads.load(Ordering::Relaxed),
+            epoch: (epoch != NO_EPOCH).then_some(epoch),
+        }
+    }
+
+    fn enqueue(&self, job: Job) -> Result<(), String> {
+        let mut q = self.shared.lock_queue();
+        if q.shutdown {
+            return Err("engine is shut down".into());
+        }
+        q.jobs.push_back(job);
+        drop(q);
+        self.shared.cond.notify_all();
+        Ok(())
+    }
+
+    fn join_worker(&mut self) {
+        {
+            let mut q = self.shared.lock_queue();
+            q.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ScoreEngine {
+    fn drop(&mut self) {
+        self.join_worker();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scorer thread
+// ---------------------------------------------------------------------------
+
+/// Loads weights into `model` from `source`. Validation is all-before-apply
+/// (see `snapshot::load_full` / `load_latest_values`), so an invalid source
+/// leaves the parameters untouched. Returns the checkpoint epoch loaded,
+/// when the source has one.
+fn load_weights(
+    model: &Isrec,
+    source: &ModelSource,
+    newer_than: Option<u64>,
+) -> Result<Option<u64>, String> {
+    let params = model.params();
+    match source {
+        ModelSource::Snapshot(path) => {
+            let bytes = std::fs::read(path).map_err(|e| format!("read snapshot {path:?}: {e}"))?;
+            let (restored, _) = snapshot::load_full(&params, bytes.into())?;
+            if restored != params.len() {
+                return Err(format!(
+                    "snapshot {path:?} restored {restored}/{} params — wrong file or config?",
+                    params.len()
+                ));
+            }
+            Ok(None)
+        }
+        ModelSource::CheckpointDir(dir) => {
+            let mgr = CheckpointManager::new(dir, 3)?;
+            Ok(mgr.load_latest_values(&params, newer_than))
+        }
+    }
+}
+
+struct ScoreReq {
+    history: Vec<usize>,
+    k: usize,
+    slot: Arc<Slot<Vec<Recommendation>>>,
+}
+
+fn scorer_thread(
+    spec: ModelSpec,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+    ready_tx: mpsc::Sender<Result<(), String>>,
+) {
+    // Build + load inside the thread: the model never crosses threads.
+    let model = Isrec::new(&spec.dataset, spec.config.clone(), spec.seed);
+    let epoch = match load_weights(&model, &spec.source, None) {
+        Ok(Some(epoch)) => {
+            shared.epoch.store(epoch, Ordering::Relaxed);
+            Some(epoch)
+        }
+        Ok(None) => match &spec.source {
+            ModelSource::CheckpointDir(dir) => {
+                let _ = ready_tx.send(Err(format!("no valid checkpoint in {dir:?}")));
+                return;
+            }
+            ModelSource::Snapshot(_) => None,
+        },
+        Err(e) => {
+            let _ = ready_tx.send(Err(e));
+            return;
+        }
+    };
+    let mut epoch = epoch;
+    let mut table_t = model.output_item_table_t();
+    let mut cache = ReprCache::new(cfg.cache_entries);
+    let _ = ready_tx.send(Ok(()));
+
+    loop {
+        enum Work {
+            Batch(Vec<ScoreReq>),
+            Reload(Arc<Slot<Option<u64>>>),
+            Quit,
+        }
+        let work = {
+            let mut q = shared.lock_queue();
+            loop {
+                match q.jobs.pop_front() {
+                    Some(Job::Reload { slot }) => break Work::Reload(slot),
+                    Some(Job::Score { history, k, slot }) => {
+                        let mut batch = vec![ScoreReq { history, k, slot }];
+                        let deadline = Instant::now() + cfg.batch_timeout;
+                        // Coalesce: drain queued requests, then wait out the
+                        // batching window for more, up to max_batch. Stop at
+                        // a Reload so it runs between batches.
+                        loop {
+                            while batch.len() < cfg.max_batch {
+                                match q.jobs.front() {
+                                    Some(Job::Score { .. }) => match q.jobs.pop_front() {
+                                        Some(Job::Score { history, k, slot }) => {
+                                            batch.push(ScoreReq { history, k, slot })
+                                        }
+                                        _ => unreachable!("front was a Score job"),
+                                    },
+                                    _ => break,
+                                }
+                            }
+                            let now = Instant::now();
+                            if batch.len() >= cfg.max_batch
+                                || now >= deadline
+                                || q.shutdown
+                                || matches!(q.jobs.front(), Some(Job::Reload { .. }))
+                            {
+                                break;
+                            }
+                            let (guard, _) = shared
+                                .cond
+                                .wait_timeout(q, deadline - now)
+                                .unwrap_or_else(|p| p.into_inner());
+                            q = guard;
+                        }
+                        break Work::Batch(batch);
+                    }
+                    None if q.shutdown => break Work::Quit,
+                    None => {
+                        q = shared.cond.wait(q).unwrap_or_else(|p| p.into_inner());
+                    }
+                }
+            }
+        };
+        match work {
+            Work::Quit => return,
+            Work::Reload(slot) => {
+                let result = reload_model(&spec, &model, &mut epoch, &mut table_t, &mut cache);
+                if matches!(result, Ok(Some(_)))
+                    || matches!(&spec.source, ModelSource::Snapshot(_) if result.is_ok())
+                {
+                    shared.reloads.fetch_add(1, Ordering::Relaxed);
+                }
+                if let Ok(Some(e)) = &result {
+                    shared.epoch.store(*e, Ordering::Relaxed);
+                }
+                slot.fill(result);
+            }
+            Work::Batch(batch) => {
+                process_batch(&model, &table_t, &mut cache, &shared, batch);
+            }
+        }
+    }
+}
+
+/// Applies a reload request. The scorer is single-threaded, so swapping the
+/// weights + table between batches is atomic from every caller's view.
+fn reload_model(
+    spec: &ModelSpec,
+    model: &Isrec,
+    epoch: &mut Option<u64>,
+    table_t: &mut Tensor,
+    cache: &mut ReprCache,
+) -> Result<Option<u64>, String> {
+    match load_weights(model, &spec.source, *epoch)? {
+        Some(new_epoch) => {
+            *epoch = Some(new_epoch);
+            *table_t = model.output_item_table_t();
+            cache.clear();
+            Ok(Some(new_epoch))
+        }
+        None => match &spec.source {
+            // Snapshot reload always re-applies the (validated) file.
+            ModelSource::Snapshot(_) => {
+                *table_t = model.output_item_table_t();
+                cache.clear();
+                Ok(None)
+            }
+            ModelSource::CheckpointDir(_) => Ok(None),
+        },
+    }
+}
+
+fn process_batch(
+    model: &Isrec,
+    table_t: &Tensor,
+    cache: &mut ReprCache,
+    shared: &Shared,
+    batch: Vec<ScoreReq>,
+) {
+    let m = batch.len();
+    let d = table_t.shape()[0];
+    let num_items = table_t.shape()[1];
+    let max_len = model.max_len();
+    let mut span = ist_obs::Span::enter("serve.batch");
+    span.add_field("size", m);
+    BATCH_SIZE.record(m as u64);
+
+    // Cache lookup on the *effective* history — the last max_len items are
+    // all the encoder ever sees, so longer keys would only split hits.
+    let keys: Vec<Vec<usize>> = batch
+        .iter()
+        .map(|r| r.history[r.history.len().saturating_sub(max_len)..].to_vec())
+        .collect();
+    let mut rows: Vec<Option<Vec<f32>>> = keys
+        .iter()
+        .map(|key| cache.get(key).map(<[f32]>::to_vec))
+        .collect();
+
+    // One forward pass over the unique missing histories.
+    let mut miss_keys: Vec<&[usize]> = Vec::new();
+    let mut miss_index: HashMap<&[usize], usize> = HashMap::new();
+    for (row, key) in rows.iter().zip(&keys) {
+        if row.is_none() && !miss_index.contains_key(key.as_slice()) {
+            miss_index.insert(key, miss_keys.len());
+            miss_keys.push(key);
+        }
+    }
+    span.add_field("misses", miss_keys.len());
+    if !miss_keys.is_empty() {
+        let fresh = model.infer_last_repr(&miss_keys);
+        for (row, key) in rows.iter_mut().zip(&keys) {
+            if row.is_none() {
+                let at = miss_index[key.as_slice()];
+                *row = Some(fresh.data()[at * d..(at + 1) * d].to_vec());
+            }
+        }
+        for (key, &at) in &miss_index {
+            cache.insert(key.to_vec(), fresh.data()[at * d..(at + 1) * d].to_vec());
+        }
+    }
+
+    // One GEMM scores the whole batch; each output row depends only on its
+    // own representation row, so results are independent of batch makeup.
+    let mut stacked = Vec::with_capacity(m * d);
+    for row in &rows {
+        stacked.extend_from_slice(row.as_deref().expect("every row resolved"));
+    }
+    let scores = matmul(&Tensor::from_vec(stacked, &[m, d]), table_t);
+
+    // Publish counters *before* filling any slot: a caller that wakes up
+    // from its response must already see this batch in `stats()`.
+    shared.requests.fetch_add(m as u64, Ordering::Relaxed);
+    shared.batches.fetch_add(1, Ordering::Relaxed);
+    shared.max_batch.fetch_max(m as u64, Ordering::Relaxed);
+    let (hits, misses) = cache.stats();
+    shared.cache_hits.store(hits, Ordering::Relaxed);
+    shared.cache_misses.store(misses, Ordering::Relaxed);
+
+    for (i, req) in batch.iter().enumerate() {
+        let row = &scores.data()[i * num_items..(i + 1) * num_items];
+        req.slot.fill(top_k(row, req.k));
+    }
+}

@@ -1,0 +1,49 @@
+//! # ist-serve
+//!
+//! Batched online inference for ISRec: the missing piece between "a model
+//! that scores batches offline" and "a service that answers recommendation
+//! requests". The centrepiece is [`ScoreEngine`], which owns a model on a
+//! dedicated scorer thread and exposes a thread-safe
+//! [`recommend`](ScoreEngine::recommend) answering top-K requests.
+//!
+//! ## Architecture
+//!
+//! The model is `!Send` (its parameters are `Rc`-shared with the tape
+//! machinery), so the engine never moves it: a [`ModelSpec`] — dataset,
+//! config, seed, and a weight [`ModelSource`] — is shipped to a scorer
+//! thread that builds and owns the model for its lifetime. Callers talk to
+//! it through a queue:
+//!
+//! * **Micro-batching** — the scorer drains the queue into one forward
+//!   pass: after the first request arrives it waits up to
+//!   `IST_SERVE_BATCH_TIMEOUT_US` for more, up to `IST_SERVE_BATCH`
+//!   requests per batch. Because every stage of the inference forward is
+//!   row-independent (see `Isrec::infer_last_repr`), batching **never
+//!   changes scores** — a guarantee the CI serve stage enforces bitwise.
+//! * **Repr caching** — the expensive half of a request (transformer +
+//!   intent pipeline) depends only on the effective history (its last
+//!   `max_len` items), so final-position representations are cached in an
+//!   LRU ([`ReprCache`], capacity `IST_SERVE_CACHE`). Hits skip the
+//!   encoder entirely and re-score via the same GEMM as misses, so a
+//!   cached answer is bitwise identical to a cold one.
+//! * **Top-K retrieval** — scores against the full catalog are reduced by
+//!   a bounded binary heap ([`top_k`]): `O(n log k)`, no full sort, NaN
+//!   scores rejected, ties broken toward the smaller item id.
+//! * **Hot reload** — [`ScoreEngine::reload`] re-checks the weight source;
+//!   a strictly newer checkpoint that passes *all* integrity checks swaps
+//!   the weights atomically (validate-before-apply) and clears the cache,
+//!   while a torn/corrupt file is skipped and the old model keeps serving.
+//!
+//! Instrumentation rides on `ist-obs`: a `serve.request` span + latency
+//! histogram (p50/p95/p99 in the summary table) per request and a
+//! `serve.batch` span per forward pass.
+
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod topk;
+
+pub use cache::ReprCache;
+pub use engine::{EngineStats, ModelSource, ModelSpec, Recommendation, ScoreEngine, ServeConfig};
+pub use topk::top_k;

@@ -1,0 +1,121 @@
+//! Bounded binary-heap top-K over a full-catalog score vector.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::engine::Recommendation;
+
+/// Heap entry ordered so the binary max-heap keeps the *worst* kept item at
+/// the root: `greater` means lower score, or equal score with a larger item
+/// id (ties rank the smaller id first, keeping results deterministic).
+#[derive(PartialEq)]
+struct Worst {
+    score: f32,
+    item: usize,
+}
+
+impl Eq for Worst {}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Scores are checked finite before insertion, so partial_cmp is
+        // total here.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(self.item.cmp(&other.item))
+    }
+}
+
+/// The `k` best items of a dense score vector (index = item id), best
+/// first; ties rank the smaller item id first. `k >= scores.len()` returns
+/// the whole catalog sorted. Any non-finite score is an error — a NaN
+/// would silently poison heap ordering, so it must never reach ranking.
+///
+/// `O(n log k)` time, `O(k)` space: items beat the current worst kept
+/// entry or are dropped immediately.
+pub fn top_k(scores: &[f32], k: usize) -> Result<Vec<Recommendation>, String> {
+    let k = k.min(scores.len());
+    if k == 0 {
+        return Ok(Vec::new());
+    }
+    let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
+    for (item, &score) in scores.iter().enumerate() {
+        if !score.is_finite() {
+            return Err(format!("non-finite score {score} for item {item}"));
+        }
+        if heap.len() < k {
+            heap.push(Worst { score, item });
+        } else if let Some(worst) = heap.peek() {
+            // `Worst` orders worse-first, so `candidate < worst` means the
+            // candidate ranks better than the current worst kept entry.
+            if (Worst { score, item }) < *worst {
+                heap.pop();
+                heap.push(Worst { score, item });
+            }
+        }
+    }
+    // Ascending by worse-first order = best first.
+    Ok(heap
+        .into_sorted_vec()
+        .into_iter()
+        .map(|w| Recommendation {
+            item: w.item,
+            score: w.score,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_force(scores: &[f32], k: usize) -> Vec<(usize, f32)> {
+        let mut all: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+        all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_full_sort_on_a_small_vector() {
+        let scores = [0.5, -1.0, 3.0, 3.0, 2.0, 0.0];
+        let got = top_k(&scores, 3).unwrap();
+        let want = brute_force(&scores, 3);
+        assert_eq!(
+            got.iter().map(|r| (r.item, r.score)).collect::<Vec<_>>(),
+            want
+        );
+        // Tie between items 2 and 3 at score 3.0 → smaller id first.
+        assert_eq!(got[0].item, 2);
+        assert_eq!(got[1].item, 3);
+    }
+
+    #[test]
+    fn k_larger_than_catalog_returns_everything() {
+        let scores = [1.0, 2.0];
+        let got = top_k(&scores, 10).unwrap();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].item, 1);
+    }
+
+    #[test]
+    fn k_zero_and_empty_catalog() {
+        assert!(top_k(&[1.0], 0).unwrap().is_empty());
+        assert!(top_k(&[], 5).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_finite_scores_are_rejected() {
+        assert!(top_k(&[1.0, f32::NAN, 2.0], 2).is_err());
+        assert!(top_k(&[1.0, f32::INFINITY], 1).is_err());
+        assert!(top_k(&[f32::NEG_INFINITY], 1).is_err());
+    }
+}

@@ -12,6 +12,9 @@
 //! isrec explain  --data data/beauty --snapshot model.bin [--user 0] [--top 5]
 //! isrec profile  [--steps 24] [--scale 0.12] [--trace-out trace.json]
 //! isrec graph-dump [--out tape.dot] [--batch-size 4]
+//! isrec serve    --data data/beauty (--snapshot model.bin | --checkpoint-dir ckpts/)
+//!                [--synthetic 2000 | --requests stream.txt] [--clients 8]
+//!                [--k 10] [--report results/serve_report.json]
 //! ```
 //!
 //! Every subcommand accepts `--metrics-out <path>`: telemetry (spans,
@@ -343,8 +346,242 @@ fn cmd_graph_dump(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Request-stream replay against a [`ScoreEngine`]: loads the model from a
+/// snapshot or checkpoint dir, replays `--requests <file>` (one
+/// space/comma-separated history per line) or a `--synthetic N` stream from
+/// `--clients` concurrent threads, and prints a throughput/latency report.
+/// `--report <path>` additionally writes the machine-readable
+/// `isrec.serve_report.v1` JSON consumed by the CI serve stage.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    use isrec_suite::serve::{ModelSource, ModelSpec, ScoreEngine, ServeConfig};
+
+    let ds = load(args)?;
+    let source = match (args.get("snapshot"), args.get("checkpoint-dir")) {
+        (Some(snap), None) => ModelSource::Snapshot(PathBuf::from(snap)),
+        (None, Some(dir)) => ModelSource::CheckpointDir(PathBuf::from(dir)),
+        (Some(_), Some(_)) => return Err("pass --snapshot or --checkpoint-dir, not both".into()),
+        (None, None) => return Err("missing weight source: --snapshot or --checkpoint-dir".into()),
+    };
+    let k: usize = args.num("k", 10usize)?;
+    let clients: usize = args.num("clients", 8usize)?.max(1);
+
+    // The request stream: one history per line, or a deterministic
+    // synthetic stream with user repetition (so the repr cache sees
+    // realistic revisits).
+    let requests: Vec<Vec<usize>> = match (args.get("requests"), args.get("synthetic")) {
+        (Some(path), None) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+            let mut out = Vec::new();
+            for (ln, line) in text.lines().enumerate() {
+                let line = line.trim();
+                if line.is_empty() || line.starts_with('#') {
+                    continue;
+                }
+                let hist: Result<Vec<usize>, _> = line
+                    .split(|c: char| c == ',' || c.is_whitespace())
+                    .filter(|t| !t.is_empty())
+                    .map(str::parse)
+                    .collect();
+                let hist = hist.map_err(|e| format!("{path}:{}: {e}", ln + 1))?;
+                if let Some(&bad) = hist.iter().find(|&&i| i >= ds.num_items) {
+                    return Err(format!(
+                        "{path}:{}: item {bad} out of range (num_items={})",
+                        ln + 1,
+                        ds.num_items
+                    ));
+                }
+                out.push(hist);
+            }
+            out
+        }
+        (None, maybe_n) => {
+            let n: usize = match maybe_n {
+                Some(v) => v.parse().map_err(|e| format!("--synthetic: {e}"))?,
+                None => 2000,
+            };
+            // A fixed-stride walk over a sub-pool of users: every request
+            // is deterministic, and pool < n guarantees repeated users.
+            let pool = ds.num_users().min((n / 4).max(1)).max(1);
+            (0..n)
+                .map(|i| ds.sequences[(i * 7919) % pool].clone())
+                .collect()
+        }
+        (Some(_), Some(_)) => return Err("pass --requests or --synthetic, not both".into()),
+    };
+    if requests.is_empty() {
+        return Err("empty request stream".into());
+    }
+
+    let serve_cfg = ServeConfig::from_env();
+    let spec = ModelSpec {
+        config: IsrecConfig {
+            max_len: args.num("max-len", 20usize)?,
+            d: args.num("dim", 32usize)?,
+            d_prime: args.num("d-prime", 8usize)?,
+            lambda: args.num("lambda", 10usize)?,
+            ..Default::default()
+        },
+        seed: args.num("seed", 7u64)?,
+        source,
+        dataset: ds,
+    };
+    let source_desc = match &spec.source {
+        ModelSource::Snapshot(p) => format!("snapshot:{}", p.display()),
+        ModelSource::CheckpointDir(p) => format!("checkpoint:{}", p.display()),
+    };
+    let dataset_name = spec.dataset.name.clone();
+    let engine = ScoreEngine::start(spec, serve_cfg.clone())?;
+
+    // Replay: client c takes requests i ≡ c (mod clients); each thread
+    // reports (request index, latency µs, recommendations) so the merged
+    // result is request-ordered regardless of scheduling.
+    let total = requests.len();
+    let wall = std::time::Instant::now();
+    let mut results: Vec<Option<(u64, Vec<isrec_suite::serve::Recommendation>)>> =
+        vec![None; total];
+    let worker_errors: Vec<String> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..clients {
+            let engine = &engine;
+            let requests = &requests;
+            handles.push(scope.spawn(move || {
+                let mut out = Vec::new();
+                for i in (c..requests.len()).step_by(clients) {
+                    let t0 = std::time::Instant::now();
+                    let recs = engine.recommend(&requests[i], k);
+                    let us = t0.elapsed().as_micros() as u64;
+                    out.push((i, us, recs));
+                }
+                out
+            }));
+        }
+        let mut errors = Vec::new();
+        for handle in handles {
+            for (i, us, recs) in handle.join().expect("serve client panicked") {
+                match recs {
+                    Ok(recs) => results[i] = Some((us, recs)),
+                    Err(e) => errors.push(format!("request {i}: {e}")),
+                }
+            }
+        }
+        errors
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+    if let Some(e) = worker_errors.first() {
+        return Err(format!(
+            "{} request(s) failed; first: {e}",
+            worker_errors.len()
+        ));
+    }
+
+    // Exact client-side latency quantiles + a CRC over every ranked
+    // (item, score-bits) pair in request order: any batching-, threading-
+    // or caching-dependent divergence changes this fingerprint.
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut fingerprint: Vec<u8> = Vec::new();
+    for slot in &results {
+        let (us, recs) = slot.as_ref().expect("all requests answered");
+        latencies.push(*us);
+        for r in recs {
+            fingerprint.extend_from_slice(&(r.item as u32).to_le_bytes());
+            fingerprint.extend_from_slice(&r.score.to_bits().to_le_bytes());
+        }
+    }
+    let scores_crc = isrec_suite::isrec::snapshot::crc32(&fingerprint);
+    latencies.sort_unstable();
+    let quantile = |q: f64| -> u64 {
+        let idx = ((q * (latencies.len() - 1) as f64).round()) as usize;
+        latencies[idx.min(latencies.len() - 1)]
+    };
+    let mean_us = latencies.iter().sum::<u64>() as f64 / latencies.len() as f64;
+    let stats = engine.stats();
+
+    println!(
+        "served {total} requests (k={k}) from {clients} clients in {elapsed:.2}s \
+         ({:.0} req/s) — {source_desc}",
+        total as f64 / elapsed
+    );
+    println!(
+        "latency µs: p50 {} / p95 {} / p99 {} / mean {:.0} / max {}",
+        quantile(0.50),
+        quantile(0.95),
+        quantile(0.99),
+        mean_us,
+        latencies.last().copied().unwrap_or(0)
+    );
+    println!(
+        "batches: {} (avg {:.2} req/batch, max {}); cache: {} hits / {} misses ({:.1}% hit rate)",
+        stats.batches,
+        stats.avg_batch(),
+        stats.max_batch,
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0
+    );
+    println!("scores_crc: {scores_crc:#010x}");
+
+    if let Some(path) = args.get("report") {
+        let epoch = match stats.epoch {
+            Some(e) => e.to_string(),
+            None => "null".to_string(),
+        };
+        let json = format!(
+            concat!(
+                "{{\n",
+                "  \"schema\": \"isrec.serve_report.v1\",\n",
+                "  \"dataset\": \"{dataset}\",\n",
+                "  \"source\": \"{source}\",\n",
+                "  \"epoch\": {epoch},\n",
+                "  \"requests\": {requests},\n",
+                "  \"clients\": {clients},\n",
+                "  \"k\": {k},\n",
+                "  \"elapsed_s\": {elapsed:.3},\n",
+                "  \"throughput_rps\": {rps:.1},\n",
+                "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"mean\": {mean:.1}, \"max\": {max}}},\n",
+                "  \"batch\": {{\"count\": {batches}, \"avg\": {avg_batch:.3}, \"max\": {max_batch}}},\n",
+                "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}},\n",
+                "  \"config\": {{\"max_batch\": {cfg_batch}, \"batch_timeout_us\": {cfg_timeout}, \"cache_entries\": {cfg_cache}}},\n",
+                "  \"scores_crc\": {crc}\n",
+                "}}\n"
+            ),
+            dataset = dataset_name,
+            source = source_desc,
+            epoch = epoch,
+            requests = total,
+            clients = clients,
+            k = k,
+            elapsed = elapsed,
+            rps = total as f64 / elapsed,
+            p50 = quantile(0.50),
+            p95 = quantile(0.95),
+            p99 = quantile(0.99),
+            mean = mean_us,
+            max = latencies.last().copied().unwrap_or(0),
+            batches = stats.batches,
+            avg_batch = stats.avg_batch(),
+            max_batch = stats.max_batch,
+            hits = stats.cache_hits,
+            misses = stats.cache_misses,
+            hit_rate = stats.hit_rate(),
+            cfg_batch = serve_cfg.max_batch,
+            cfg_timeout = serve_cfg.batch_timeout.as_micros(),
+            cfg_cache = serve_cfg.cache_entries,
+            crc = scores_crc,
+        );
+        if let Some(parent) = PathBuf::from(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| format!("create report dir {parent:?}: {e}"))?;
+            }
+        }
+        std::fs::write(path, json).map_err(|e| format!("write report {path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    Ok(())
+}
+
 const USAGE: &str =
-    "usage: isrec <generate|import|stats|train|eval|explain|profile|graph-dump> [--flag value]…
+    "usage: isrec <generate|import|stats|train|eval|explain|profile|graph-dump|serve> [--flag value]…
 run with a subcommand; see the module docs at the top of src/bin/isrec.rs";
 
 fn main() -> ExitCode {
@@ -376,6 +613,7 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args),
         "profile" => cmd_profile(&args),
         "graph-dump" => cmd_graph_dump(&args),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
     };
     isrec_suite::obs::flush();

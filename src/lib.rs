@@ -11,4 +11,5 @@ pub use ist_eval as eval;
 pub use ist_graph as graph;
 pub use ist_nn as nn;
 pub use ist_obs as obs;
+pub use ist_serve as serve;
 pub use ist_tensor as tensor;
