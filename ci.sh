@@ -14,7 +14,7 @@
 # Usage:
 #   ./ci.sh          # run every stage
 #   ./ci.sh gate     # just the tier-1 gate (build + tests)
-#   ./ci.sh fmt | clippy | bench | determinism | faults | metrics | trace | serve
+#   ./ci.sh fmt | clippy | bench | determinism | faults | metrics | trace | serve | chaos
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -253,7 +253,7 @@ run_serve() {
 import json, math, sys
 
 r = json.load(open(sys.argv[1]))
-if r.get("schema") != "isrec.serve_report.v1":
+if r.get("schema") != "isrec.serve_report.v2":
     sys.exit(f"FAIL: unexpected report schema {r.get('schema')!r}")
 p99 = r["latency_us"]["p99"]
 if not (isinstance(p99, (int, float)) and math.isfinite(p99) and p99 > 0):
@@ -264,6 +264,15 @@ if r["cache"]["hit_rate"] <= 0.0:
     sys.exit("FAIL: zero cache hit rate on a repeated-user stream")
 if r["requests"] != 2000:
     sys.exit(f"FAIL: expected 2000 requests, saw {r['requests']}")
+# Fault-free, the resilience layer must be invisible: everything answered,
+# nothing shed/timed out/degraded, zero panics.
+res = r["resilience"]
+if res["answered"] != r["requests"] or res["failed"] != 0 or res["errors"]:
+    sys.exit(f"FAIL: fault-free run reported failures: {res}")
+if any(res[k] != 0 for k in ("shed", "timed_out", "scorer_panics", "respawns", "degraded_answers")):
+    sys.exit(f"FAIL: fault-free run tripped resilience counters: {res}")
+if res["degraded"]:
+    sys.exit("FAIL: fault-free run ended degraded")
 print(f"report ok: p99={p99}us avg_batch={r['batch']['avg']} hit_rate={r['cache']['hit_rate']}")
 EOF
     python3 - "$work/metrics.jsonl" <<'EOF'
@@ -300,6 +309,81 @@ EOF
     echo "scores bitwise identical across IST_SERVE_BATCH=1/32 and IST_THREADS=1/4"
 }
 
+run_chaos() {
+    stage "serving chaos gate: typed responses under injected faults + bitwise fault-free rerun"
+    # Train once, then serve the same synthetic stream three times:
+    #   1. fault-free baseline → record scores_crc, resilience all-zero;
+    #   2. chaos soak under IST_SERVE_FAULTS (slow batch, scorer panics,
+    #      corrupt respawn reload) with a per-request deadline — every
+    #      request must end in a typed response before its deadline and the
+    #      engine must recover (no lingering degraded mode, no deadlock);
+    #   3. fault-free rerun → scores_crc bitwise identical to the baseline
+    #      (the resilience layer must be invisible when nothing fails).
+    local work
+    mktempd_tracked work
+    cargo run --release --locked --bin isrec -- \
+        generate --world beauty --scale 0.25 --seed 42 --out "$work/data" >/dev/null
+    cargo run --release --locked --bin isrec -- \
+        train --data "$work/data" --snapshot "$work/model.bin" --epochs 2 --max-len 20 >/dev/null
+
+    cargo run --release --locked --bin isrec -- \
+        serve --data "$work/data" --snapshot "$work/model.bin" \
+        --synthetic 600 --report "$work/report_baseline.json" >/dev/null
+    IST_SERVE_FAULTS='slow@batch2:100,panic@batch4,corrupt_reload@2,panic@batch9' \
+        cargo run --release --locked --bin isrec -- \
+        serve --data "$work/data" --snapshot "$work/model.bin" \
+        --synthetic 600 --deadline-ms 2000 --allow-errors 1 \
+        --report "$work/report_chaos.json"
+    cargo run --release --locked --bin isrec -- \
+        serve --data "$work/data" --snapshot "$work/model.bin" \
+        --synthetic 600 --report "$work/report_rerun.json" >/dev/null
+
+    python3 - "$work/report_baseline.json" "$work/report_chaos.json" "$work/report_rerun.json" <<'EOF'
+import json, sys
+
+base, chaos, rerun = (json.load(open(p)) for p in sys.argv[1:4])
+for name, r in (("baseline", base), ("chaos", chaos), ("rerun", rerun)):
+    if r.get("schema") != "isrec.serve_report.v2":
+        sys.exit(f"FAIL: {name}: unexpected report schema {r.get('schema')!r}")
+
+# Chaos soak: every request accounted for with a typed outcome.
+res = chaos["resilience"]
+if res["answered"] + res["failed"] != chaos["requests"]:
+    sys.exit(f"FAIL: chaos run lost requests: {res} of {chaos['requests']}")
+if sum(res["errors"].values()) != res["failed"]:
+    sys.exit(f"FAIL: failed/errors mismatch: {res}")
+allowed = {"invalid", "deadline", "shed", "panic", "internal", "shutdown"}
+stray = set(res["errors"]) - allowed
+if stray:
+    sys.exit(f"FAIL: untyped error kinds {sorted(stray)}")
+if res["scorer_panics"] < 1 or res["respawns"] < 1:
+    sys.exit(f"FAIL: injected panics did not register: {res}")
+if res["degraded"]:
+    sys.exit(f"FAIL: engine still degraded after the chaos run: {res}")
+# Deadline honored: no request (even poisoned/stalled ones) blocked past
+# its 2000ms budget plus scheduling slack.
+if chaos["latency_us"]["max"] > 4_000_000:
+    sys.exit(f"FAIL: a request blocked {chaos['latency_us']['max']}us past its deadline")
+
+# Fault-free runs: resilience invisible, scores bitwise identical.
+for name, r in (("baseline", base), ("rerun", rerun)):
+    res = r["resilience"]
+    if res["failed"] != 0 or res["errors"] or res["degraded"]:
+        sys.exit(f"FAIL: fault-free {name} run reported failures: {res}")
+if base["scores_crc"] != rerun["scores_crc"]:
+    sys.exit(
+        f"FAIL: fault-free rerun CRC {rerun['scores_crc']} != baseline {base['scores_crc']} "
+        "— the resilience layer changed scores"
+    )
+print(
+    f"chaos ok: {chaos['resilience']['answered']}/{chaos['requests']} answered, "
+    f"errors {chaos['resilience']['errors']}, "
+    f"panics {chaos['resilience']['scorer_panics']}, respawns {chaos['resilience']['respawns']}; "
+    f"fault-free CRC identical ({base['scores_crc']})"
+)
+EOF
+}
+
 case "${1:-all}" in
     gate)        run_gate ;;
     fmt)         run_fmt ;;
@@ -310,6 +394,7 @@ case "${1:-all}" in
     metrics)     run_metrics ;;
     trace)       run_trace ;;
     serve)       run_serve ;;
+    chaos)       run_chaos ;;
     all)
         run_gate
         run_fmt
@@ -320,10 +405,11 @@ case "${1:-all}" in
         run_metrics
         run_trace
         run_serve
+        run_chaos
         printf '\nci.sh: all stages passed\n'
         ;;
     *)
-        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults|metrics|trace|serve]" >&2
+        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults|metrics|trace|serve|chaos]" >&2
         exit 2
         ;;
 esac

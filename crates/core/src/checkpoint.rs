@@ -187,35 +187,73 @@ impl CheckpointManager {
     /// a torn or corrupt file is skipped with a warning and `params` are
     /// left untouched by it — the engine keeps serving the old weights.
     pub fn load_latest_values(&self, params: &[Param], newer_than: Option<u64>) -> Option<u64> {
+        self.load_latest_values_report(params, newer_than).epoch
+    }
+
+    /// Like [`CheckpointManager::load_latest_values`], but also reports how
+    /// many candidate checkpoints were skipped as unreadable, corrupt, or
+    /// incomplete on the way to the one restored — the serving layer
+    /// surfaces this as a `serve.reload_skipped` counter so operators can
+    /// tell "nothing newer" apart from "newer but rotten".
+    pub fn load_latest_values_report(
+        &self,
+        params: &[Param],
+        newer_than: Option<u64>,
+    ) -> ValuesLoadReport {
+        let mut skipped = 0usize;
         for (epoch, path) in self.list().into_iter().rev() {
             if let Some(floor) = newer_than {
                 if epoch <= floor {
                     // list() is sorted; everything further back is older.
-                    return None;
+                    return ValuesLoadReport {
+                        epoch: None,
+                        skipped,
+                    };
                 }
             }
             let raw = match fs::read(&path) {
                 Ok(raw) => raw,
                 Err(e) => {
                     eprintln!("warning: skipping unreadable checkpoint {path:?}: {e}");
+                    skipped += 1;
                     continue;
                 }
             };
             match snapshot::load_full(params, raw.into()) {
-                Ok((restored, _)) if restored == params.len() => return Some(epoch),
+                Ok((restored, _)) if restored == params.len() => {
+                    return ValuesLoadReport {
+                        epoch: Some(epoch),
+                        skipped,
+                    };
+                }
                 Ok((restored, _)) => {
                     eprintln!(
                         "warning: skipping checkpoint {path:?}: restored {restored}/{} params",
                         params.len()
                     );
+                    skipped += 1;
                 }
                 Err(e) => {
                     eprintln!("warning: skipping invalid checkpoint {path:?}: {e}");
+                    skipped += 1;
                 }
             }
         }
-        None
+        ValuesLoadReport {
+            epoch: None,
+            skipped,
+        }
     }
+}
+
+/// Outcome of [`CheckpointManager::load_latest_values_report`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ValuesLoadReport {
+    /// Epoch restored from, `None` when nothing (newer and) valid exists.
+    pub epoch: Option<u64>,
+    /// Candidate checkpoints skipped as unreadable, corrupt, or incomplete
+    /// before the search ended.
+    pub skipped: usize,
 }
 
 #[cfg(test)]
@@ -335,6 +373,32 @@ mod tests {
             .unwrap();
         assert_eq!(epoch, 0);
         assert_eq!(target.value().data(), &[0.0, 1.0]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn values_report_counts_skipped_checkpoints() {
+        let dir = tmpdir("values-report");
+        let mut mgr = CheckpointManager::new(&dir, 10).unwrap();
+        // Epoch 1 bit-flipped, epoch 2 torn: the report must say both were
+        // passed over on the way back to epoch 0.
+        let mut faults = FaultPlan::parse("bitflip@ckpt2,torn_write@ckpt3").unwrap();
+        for epoch in 0..3 {
+            write_epoch(&mut mgr, &param(epoch as f32 * 100.0), epoch, &mut faults);
+        }
+        let target = param(-5.0);
+        let report = mgr.load_latest_values_report(std::slice::from_ref(&target), None);
+        assert_eq!(report.epoch, Some(0));
+        assert_eq!(report.skipped, 2);
+        // Already serving the newest epoch: nothing newer, nothing skipped.
+        let report = mgr.load_latest_values_report(std::slice::from_ref(&target), Some(2));
+        assert_eq!(
+            report,
+            ValuesLoadReport {
+                epoch: None,
+                skipped: 0
+            }
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

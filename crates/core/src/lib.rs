@@ -40,7 +40,7 @@ pub mod recommender;
 pub mod snapshot;
 pub mod trainer;
 
-pub use checkpoint::CheckpointManager;
+pub use checkpoint::{CheckpointManager, ValuesLoadReport};
 pub use config::{AdjacencyMode, CheckpointConfig, IsrecConfig, IsrecVariant, TrainConfig};
 pub use explain::{IntentStep, IntentTrace};
 pub use fault::{CkptFault, FaultPlan};

@@ -233,6 +233,12 @@ impl Counter {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Adds 1 — shorthand for `add(1)` on event counters.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)

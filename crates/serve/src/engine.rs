@@ -1,9 +1,25 @@
-//! The score engine: a dedicated scorer thread owning the (`!Send`) model,
-//! fed by a micro-batching request queue.
+//! The score engine: a supervised scorer thread owning the (`!Send`) model,
+//! fed by a bounded micro-batching request queue with per-request
+//! deadlines, load shedding, panic recovery, and a degraded-mode fallback.
+//!
+//! ## Resilience model
+//!
+//! A supervisor thread owns the scorer: each scorer *incarnation* builds
+//! the model, loads weights, and serves batches with `catch_unwind` around
+//! every batch and reload. A panic fails only the poisoned batch's
+//! requests (typed [`ServeError::ScorerPanic`]); the supervisor then
+//! respawns a fresh incarnation with freshly-loaded weights, up to
+//! `IST_SERVE_MAX_RESPAWNS` times. When the budget is exhausted the
+//! circuit breaker trips into **degraded mode**: a zero-dependency
+//! popularity/recency ranker ([`FallbackRanker`]) keeps answering (marked
+//! `degraded: true`) until a [`reload`](ScoreEngine::reload) succeeds in
+//! spawning a healthy scorer again.
 
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -15,6 +31,9 @@ use ist_tensor::matmul::matmul;
 use ist_tensor::Tensor;
 
 use crate::cache::ReprCache;
+use crate::error::ServeError;
+use crate::fallback::FallbackRanker;
+use crate::resilience::{BatchFault, ServeFaultPlan};
 use crate::topk::top_k;
 
 /// End-to-end request latency (enqueue → response), microseconds; the
@@ -22,6 +41,20 @@ use crate::topk::top_k;
 static REQUEST_US: ist_obs::Histogram = ist_obs::Histogram::with_unit("serve.request_us", "us");
 /// Requests coalesced per forward pass.
 static BATCH_SIZE: ist_obs::Histogram = ist_obs::Histogram::with_unit("serve.batch_size", "req");
+/// Requests shed by admission control (queue full).
+static SHED: ist_obs::Counter = ist_obs::Counter::new("serve.shed");
+/// Requests whose deadline passed before an answer.
+static TIMED_OUT: ist_obs::Counter = ist_obs::Counter::new("serve.timed_out");
+/// Scorer-thread panics caught by the supervisor.
+static SCORER_PANICS: ist_obs::Counter = ist_obs::Counter::new("serve.scorer_panic");
+/// Scorer incarnations respawned after a panic.
+static RESPAWNS: ist_obs::Counter = ist_obs::Counter::new("serve.respawn");
+/// Requests answered by the degraded-mode fallback ranker.
+static DEGRADED_SERVED: ist_obs::Counter = ist_obs::Counter::new("serve.degraded_served");
+/// Corrupt/torn checkpoints skipped during weight loads.
+static RELOAD_SKIPPED: ist_obs::Counter = ist_obs::Counter::new("serve.reload_skipped");
+/// 1 while the engine is serving fallback answers, 0 when healthy.
+static DEGRADED: ist_obs::Gauge = ist_obs::Gauge::new("serve.degraded");
 
 /// Sentinel for "no checkpoint epoch" in the shared atomic.
 const NO_EPOCH: u64 = u64::MAX;
@@ -65,6 +98,22 @@ pub struct ServeConfig {
     /// LRU capacity of the history→representation cache
     /// (`IST_SERVE_CACHE`, default 1024 entries; 0 disables caching).
     pub cache_entries: usize,
+    /// Default per-request deadline applied by
+    /// [`recommend`](ScoreEngine::recommend) (`IST_SERVE_DEADLINE_MS`;
+    /// unset or 0 means no deadline).
+    pub deadline: Option<Duration>,
+    /// Admission-queue bound (`IST_SERVE_QUEUE`, default 1024; 0 means
+    /// unbounded). When full, the queued request with the oldest deadline
+    /// is shed with [`ServeError::Shed`].
+    pub queue_cap: usize,
+    /// How many scorer respawns a panic streak may consume before the
+    /// circuit breaker trips into degraded mode
+    /// (`IST_SERVE_MAX_RESPAWNS`, default 3). A successful degraded-mode
+    /// recovery resets the budget.
+    pub max_respawns: u32,
+    /// Injected fault schedule. `None` reads `IST_SERVE_FAULTS` at
+    /// [`ScoreEngine::start`]; tests pass an explicit plan.
+    pub faults: Option<ServeFaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +122,10 @@ impl Default for ServeConfig {
             max_batch: 32,
             batch_timeout: Duration::from_micros(200),
             cache_entries: 1024,
+            deadline: None,
+            queue_cap: 1024,
+            max_respawns: 3,
+            faults: None,
         }
     }
 }
@@ -91,10 +144,12 @@ fn env_u64(name: &str, default: u64) -> u64 {
 }
 
 impl ServeConfig {
-    /// Reads `IST_SERVE_BATCH`, `IST_SERVE_BATCH_TIMEOUT_US` and
-    /// `IST_SERVE_CACHE`, falling back to the defaults above.
+    /// Reads `IST_SERVE_BATCH`, `IST_SERVE_BATCH_TIMEOUT_US`,
+    /// `IST_SERVE_CACHE`, `IST_SERVE_DEADLINE_MS`, `IST_SERVE_QUEUE` and
+    /// `IST_SERVE_MAX_RESPAWNS`, falling back to the defaults above.
     pub fn from_env() -> Self {
         let d = ServeConfig::default();
+        let deadline_ms = env_u64("IST_SERVE_DEADLINE_MS", 0);
         ServeConfig {
             max_batch: env_u64("IST_SERVE_BATCH", d.max_batch as u64).max(1) as usize,
             batch_timeout: Duration::from_micros(env_u64(
@@ -102,6 +157,10 @@ impl ServeConfig {
                 d.batch_timeout.as_micros() as u64,
             )),
             cache_entries: env_u64("IST_SERVE_CACHE", d.cache_entries as u64) as usize,
+            deadline: (deadline_ms > 0).then(|| Duration::from_millis(deadline_ms)),
+            queue_cap: env_u64("IST_SERVE_QUEUE", d.queue_cap as u64) as usize,
+            max_respawns: env_u64("IST_SERVE_MAX_RESPAWNS", d.max_respawns as u64) as u32,
+            faults: None,
         }
     }
 }
@@ -115,10 +174,20 @@ pub struct Recommendation {
     pub score: f32,
 }
 
+/// A served answer: the ranking plus how it was produced.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeResponse {
+    /// Top-K items, best first.
+    pub items: Vec<Recommendation>,
+    /// True when the degraded-mode fallback ranker (not the model)
+    /// produced this answer.
+    pub degraded: bool,
+}
+
 /// A point-in-time view of the engine's counters.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct EngineStats {
-    /// Requests scored.
+    /// Requests scored (model batches + degraded fallback).
     pub requests: u64,
     /// Forward passes run.
     pub batches: u64,
@@ -132,6 +201,20 @@ pub struct EngineStats {
     pub reloads: u64,
     /// Checkpoint epoch currently serving (None for snapshot sources).
     pub epoch: Option<u64>,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests whose deadline passed before an answer.
+    pub timed_out: u64,
+    /// Scorer panics caught (each fails only its own batch).
+    pub scorer_panics: u64,
+    /// Scorer incarnations respawned after panics.
+    pub respawns: u64,
+    /// Requests answered by the fallback ranker while degraded.
+    pub degraded_served: u64,
+    /// Corrupt/torn checkpoints skipped during weight loads.
+    pub reload_skipped: u64,
+    /// True while the engine is serving fallback answers.
+    pub degraded: bool,
 }
 
 impl EngineStats {
@@ -154,9 +237,14 @@ impl EngineStats {
 }
 
 /// One-shot response slot: the scorer fills it, the caller waits on it.
+///
+/// `canceled` arbitrates the timeout/shed race: whichever side first wins
+/// `cancel()` owns the request's fate (and its counter increment), so a
+/// request is never double-counted as both timed out and shed.
 struct Slot<T> {
-    cell: Mutex<Option<Result<T, String>>>,
+    cell: Mutex<Option<Result<T, ServeError>>>,
     ready: Condvar,
+    canceled: AtomicBool,
 }
 
 impl<T> Slot<T> {
@@ -164,40 +252,94 @@ impl<T> Slot<T> {
         Slot {
             cell: Mutex::new(None),
             ready: Condvar::new(),
+            canceled: AtomicBool::new(false),
         }
     }
 
-    fn fill(&self, result: Result<T, String>) {
+    fn fill(&self, result: Result<T, ServeError>) {
         let mut cell = self.cell.lock().unwrap_or_else(|p| p.into_inner());
         *cell = Some(result);
         self.ready.notify_all();
     }
 
-    fn wait(&self) -> Result<T, String> {
+    /// Blocks until filled, or until `deadline` passes (`None` return).
+    /// `deadline: None` waits forever.
+    fn wait_until(&self, deadline: Option<Instant>) -> Option<Result<T, ServeError>> {
         let mut cell = self.cell.lock().unwrap_or_else(|p| p.into_inner());
         loop {
             if let Some(result) = cell.take() {
-                return result;
+                return Some(result);
             }
-            cell = self.ready.wait(cell).unwrap_or_else(|p| p.into_inner());
+            match deadline {
+                None => cell = self.ready.wait(cell).unwrap_or_else(|p| p.into_inner()),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return None;
+                    }
+                    let (guard, _) = self
+                        .ready
+                        .wait_timeout(cell, d - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    cell = guard;
+                }
+            }
         }
+    }
+
+    /// Claims the request: true for the first caller only.
+    fn cancel(&self) -> bool {
+        !self.canceled.swap(true, Ordering::Relaxed)
+    }
+
+    fn is_canceled(&self) -> bool {
+        self.canceled.load(Ordering::Relaxed)
     }
 }
 
+/// A queued recommendation request, carrying everything admission control
+/// and the batcher need to expire or shed it.
+struct QueuedScore {
+    history: Vec<usize>,
+    k: usize,
+    /// The deadline budget the caller asked for (for the error message).
+    budget: Option<Duration>,
+    /// Absolute deadline (admission time + budget).
+    deadline: Option<Instant>,
+    /// When the request entered the queue.
+    admitted: Instant,
+    /// Admission order, the shed/expiry tiebreaker.
+    seq: u64,
+    slot: Arc<Slot<ServeResponse>>,
+}
+
+/// Shed priority: the request whose deadline (or, lacking one, admission
+/// time) is oldest goes first; admission order breaks ties.
+fn shed_key(s: &QueuedScore) -> (Instant, u64) {
+    (s.deadline.unwrap_or(s.admitted), s.seq)
+}
+
 enum Job {
-    Score {
-        history: Vec<usize>,
-        k: usize,
-        slot: Arc<Slot<Vec<Recommendation>>>,
-    },
-    Reload {
-        slot: Arc<Slot<Option<u64>>>,
-    },
+    Score(QueuedScore),
+    Reload { slot: Arc<Slot<Option<u64>>> },
 }
 
 struct QueueState {
     jobs: VecDeque<Job>,
+    /// Number of `Job::Score` entries in `jobs` (reload jobs are control
+    /// plane and never count against the admission cap).
+    score_len: usize,
     shutdown: bool,
+}
+
+impl QueueState {
+    fn pop_job(&mut self) -> Option<Job> {
+        let job = self.jobs.pop_front();
+        if matches!(job, Some(Job::Score(_))) {
+            self.score_len -= 1;
+        }
+        job
+    }
 }
 
 struct Shared {
@@ -210,13 +352,33 @@ struct Shared {
     cache_misses: AtomicU64,
     reloads: AtomicU64,
     epoch: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    scorer_panics: AtomicU64,
+    respawns: AtomicU64,
+    degraded_served: AtomicU64,
+    reload_skipped: AtomicU64,
+    degraded: AtomicBool,
+    /// Admission sequence numbers (shed/expiry tiebreaker).
+    seq: AtomicU64,
+    /// Catalog size, for request validation off the scorer thread.
+    num_items: usize,
+    /// Degraded-mode ranker, built once at startup.
+    fallback: FallbackRanker,
+    /// Injected fault schedule (ordinal counters live inside the plan).
+    faults: Mutex<ServeFaultPlan>,
+    /// Fast path: false once the plan drains, so the healthy path never
+    /// takes the fault lock.
+    faults_active: AtomicBool,
 }
 
 impl Shared {
-    fn new() -> Shared {
+    fn new(num_items: usize, fallback: FallbackRanker, faults: ServeFaultPlan) -> Shared {
+        let faults_active = AtomicBool::new(!faults.is_empty());
         Shared {
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
+                score_len: 0,
                 shutdown: false,
             }),
             cond: Condvar::new(),
@@ -227,6 +389,18 @@ impl Shared {
             cache_misses: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
             epoch: AtomicU64::new(NO_EPOCH),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            scorer_panics: AtomicU64::new(0),
+            respawns: AtomicU64::new(0),
+            degraded_served: AtomicU64::new(0),
+            reload_skipped: AtomicU64::new(0),
+            degraded: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+            num_items,
+            fallback,
+            faults: Mutex::new(faults),
+            faults_active,
         }
     }
 
@@ -236,28 +410,36 @@ impl Shared {
 }
 
 /// A running inference engine. Construction ([`ScoreEngine::start`]) spawns
-/// the scorer thread, builds the model there, and loads weights; dropping
-/// the engine shuts the thread down. `&ScoreEngine` is shareable across
-/// client threads — [`recommend`](ScoreEngine::recommend) is `&self`.
+/// the supervisor + scorer threads, builds the model there, and loads
+/// weights; dropping the engine shuts both down. `&ScoreEngine` is
+/// shareable across client threads — [`recommend`](ScoreEngine::recommend)
+/// is `&self` and every call returns a typed result before its deadline:
+/// the engine never leaves a caller blocked past its budget and never
+/// propagates a scorer panic across the API boundary.
 pub struct ScoreEngine {
     shared: Arc<Shared>,
     worker: Option<JoinHandle<()>>,
+    cfg: ServeConfig,
 }
 
 impl ScoreEngine {
     /// Builds the model on a fresh scorer thread and loads its weights.
     /// Returns only once the model is ready to serve (or failed to load).
     pub fn start(spec: ModelSpec, cfg: ServeConfig) -> Result<ScoreEngine, String> {
-        let shared = Arc::new(Shared::new());
+        let fallback = FallbackRanker::build(&spec.dataset);
+        let faults = cfg.faults.clone().unwrap_or_else(ServeFaultPlan::from_env);
+        let shared = Arc::new(Shared::new(spec.dataset.num_items, fallback, faults));
         let worker_shared = Arc::clone(&shared);
+        let worker_cfg = cfg.clone();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
         let worker = std::thread::Builder::new()
-            .name("ist-serve-scorer".into())
-            .spawn(move || scorer_thread(spec, cfg, worker_shared, ready_tx))
-            .map_err(|e| format!("spawn scorer thread: {e}"))?;
+            .name("ist-serve-supervisor".into())
+            .spawn(move || supervisor_thread(spec, worker_cfg, worker_shared, ready_tx))
+            .map_err(|e| format!("spawn supervisor thread: {e}"))?;
         let mut engine = ScoreEngine {
             shared,
             worker: Some(worker),
+            cfg,
         };
         match ready_rx.recv() {
             Ok(Ok(())) => Ok(engine),
@@ -273,25 +455,79 @@ impl ScoreEngine {
     }
 
     /// Scores `history` against the full catalog and returns the top `k`
-    /// items, best first. Blocks until the scorer answers; concurrent
-    /// callers are coalesced into one forward pass.
-    pub fn recommend(&self, history: &[usize], k: usize) -> Result<Vec<Recommendation>, String> {
+    /// items, best first. Applies the configured default deadline
+    /// (`ServeConfig::deadline` / `IST_SERVE_DEADLINE_MS`) when set.
+    pub fn recommend(&self, history: &[usize], k: usize) -> Result<ServeResponse, ServeError> {
+        self.recommend_opt(history, k, self.cfg.deadline)
+    }
+
+    /// Like [`recommend`](ScoreEngine::recommend), but with an explicit
+    /// per-request deadline. Returns [`ServeError::DeadlineExceeded`] no
+    /// later than (approximately) `budget` after the call, whatever state
+    /// the queue or scorer is in.
+    pub fn recommend_with_deadline(
+        &self,
+        history: &[usize],
+        k: usize,
+        budget: Duration,
+    ) -> Result<ServeResponse, ServeError> {
+        self.recommend_opt(history, k, Some(budget))
+    }
+
+    fn recommend_opt(
+        &self,
+        history: &[usize],
+        k: usize,
+        budget: Option<Duration>,
+    ) -> Result<ServeResponse, ServeError> {
         if history.is_empty() {
-            return Err("empty history: nothing to condition the model on".into());
+            return Err(ServeError::InvalidRequest(
+                "empty history: nothing to condition the model on".into(),
+            ));
+        }
+        if k == 0 {
+            return Err(ServeError::InvalidRequest(
+                "k == 0: no items requested".into(),
+            ));
+        }
+        if let Some(&bad) = history.iter().find(|&&item| item >= self.shared.num_items) {
+            return Err(ServeError::InvalidRequest(format!(
+                "item id {bad} outside the catalog ({} items)",
+                self.shared.num_items
+            )));
         }
         let mut span = ist_obs::Span::enter("serve.request");
         span.add_field("k", k);
         let start = Instant::now();
+        let deadline = budget.map(|b| start + b);
         let slot = Arc::new(Slot::new());
-        self.enqueue(Job::Score {
+        self.enqueue_score(QueuedScore {
             history: history.to_vec(),
             k,
+            budget,
+            deadline,
+            admitted: start,
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
             slot: Arc::clone(&slot),
         })?;
-        let out = slot.wait();
+        let out = match slot.wait_until(deadline) {
+            Some(result) => result,
+            None => {
+                // Caller-side expiry: whoever wins the cancel owns the
+                // timed_out increment (the batcher may be racing us).
+                if slot.cancel() {
+                    self.shared.timed_out.fetch_add(1, Ordering::Relaxed);
+                    TIMED_OUT.inc();
+                }
+                Err(ServeError::DeadlineExceeded {
+                    budget: budget.unwrap_or_default(),
+                })
+            }
+        };
         REQUEST_US.record(start.elapsed().as_micros() as u64);
-        if let Ok(items) = &out {
-            span.add_field("items", items.len());
+        if let Ok(resp) = &out {
+            span.add_field("items", resp.items.len());
+            span.add_field("degraded", resp.degraded as u64);
         }
         out
     }
@@ -302,12 +538,14 @@ impl ScoreEngine {
     /// and `Ok(None)` — the old model keeps serving. For a snapshot file,
     /// the file is re-validated and re-applied (returns `Ok(None)`).
     /// Every swap clears the representation cache.
-    pub fn reload(&self) -> Result<Option<u64>, String> {
+    ///
+    /// While degraded, a successful reload is also the recovery path: it
+    /// spawns a fresh scorer, resets the respawn budget, and returns the
+    /// epoch now serving.
+    pub fn reload(&self) -> Result<Option<u64>, ServeError> {
         let slot = Arc::new(Slot::new());
-        self.enqueue(Job::Reload {
-            slot: Arc::clone(&slot),
-        })?;
-        slot.wait()
+        self.enqueue_reload(Arc::clone(&slot))?;
+        slot.wait_until(None).unwrap_or(Err(ServeError::Shutdown))
     }
 
     /// Current counters.
@@ -321,15 +559,84 @@ impl ScoreEngine {
             cache_misses: self.shared.cache_misses.load(Ordering::Relaxed),
             reloads: self.shared.reloads.load(Ordering::Relaxed),
             epoch: (epoch != NO_EPOCH).then_some(epoch),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            scorer_panics: self.shared.scorer_panics.load(Ordering::Relaxed),
+            respawns: self.shared.respawns.load(Ordering::Relaxed),
+            degraded_served: self.shared.degraded_served.load(Ordering::Relaxed),
+            reload_skipped: self.shared.reload_skipped.load(Ordering::Relaxed),
+            degraded: self.shared.degraded.load(Ordering::Relaxed),
         }
     }
 
-    fn enqueue(&self, job: Job) -> Result<(), String> {
+    /// Admission control: refuses on shutdown, sheds oldest-deadline-first
+    /// when the bounded queue is full (the newcomer itself is the victim
+    /// when its deadline is the soonest).
+    fn enqueue_score(&self, js: QueuedScore) -> Result<(), ServeError> {
+        let shared = &self.shared;
+        let mut q = shared.lock_queue();
+        if q.shutdown {
+            return Err(ServeError::Shutdown);
+        }
+        let cap = self.cfg.queue_cap;
+        if cap > 0 && q.score_len >= cap {
+            // Prefer evicting a request whose caller already gave up —
+            // that frees a slot without shedding anyone.
+            let dead = q
+                .jobs
+                .iter()
+                .position(|job| matches!(job, Job::Score(s) if s.slot.is_canceled()));
+            if let Some(i) = dead {
+                q.jobs.remove(i);
+                q.score_len -= 1;
+            } else {
+                let new_key = shed_key(&js);
+                let victim = q
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, job)| match job {
+                        Job::Score(s) => Some((i, shed_key(s))),
+                        Job::Reload { .. } => None,
+                    })
+                    .min_by_key(|&(_, key)| key);
+                match victim {
+                    Some((i, key)) if key <= new_key => {
+                        let Some(Job::Score(v)) = q.jobs.remove(i) else {
+                            unreachable!("victim index held a Score job");
+                        };
+                        q.score_len -= 1;
+                        // Queue → slot is the global lock order, so filling
+                        // under the queue lock is deadlock-free.
+                        if v.slot.cancel() {
+                            shared.shed.fetch_add(1, Ordering::Relaxed);
+                            SHED.inc();
+                            v.slot.fill(Err(ServeError::Shed));
+                        }
+                    }
+                    _ => {
+                        // The newcomer has the soonest deadline: shed it.
+                        drop(q);
+                        shared.shed.fetch_add(1, Ordering::Relaxed);
+                        SHED.inc();
+                        return Err(ServeError::Shed);
+                    }
+                }
+            }
+        }
+        q.score_len += 1;
+        q.jobs.push_back(Job::Score(js));
+        drop(q);
+        shared.cond.notify_all();
+        Ok(())
+    }
+
+    fn enqueue_reload(&self, slot: Arc<Slot<Option<u64>>>) -> Result<(), ServeError> {
         let mut q = self.shared.lock_queue();
         if q.shutdown {
-            return Err("engine is shut down".into());
+            return Err(ServeError::Shutdown);
         }
-        q.jobs.push_back(job);
+        q.jobs.push_back(Job::Reload { slot });
         drop(q);
         self.shared.cond.notify_all();
         Ok(())
@@ -354,18 +661,248 @@ impl Drop for ScoreEngine {
 }
 
 // ---------------------------------------------------------------------------
-// Scorer thread
+// Supervisor
+// ---------------------------------------------------------------------------
+
+/// Why a scorer incarnation returned.
+enum Exit {
+    /// Clean shutdown (or a startup failure already reported via the
+    /// handshake channel).
+    Shutdown,
+    /// A batch or reload panicked; the poisoned work was already answered
+    /// with [`ServeError::ScorerPanic`].
+    Panicked(String),
+}
+
+fn panic_msg(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".into()
+    }
+}
+
+/// Spawns one scorer incarnation and waits for its load handshake. On a
+/// handshake failure the incarnation is joined before returning `Err`, so
+/// a failed (re)spawn never leaks a thread.
+fn spawn_scorer<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    spec: &'env ModelSpec,
+    cfg: &'env ServeConfig,
+    shared: &'env Shared,
+    incarnation: u64,
+) -> Result<std::thread::ScopedJoinHandle<'scope, Exit>, String> {
+    let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
+    let handle = std::thread::Builder::new()
+        .name(format!("ist-serve-scorer-{incarnation}"))
+        .spawn_scoped(scope, move || {
+            scorer_incarnation(spec, cfg, shared, ready_tx)
+        })
+        .map_err(|e| format!("spawn scorer thread: {e}"))?;
+    match ready_rx.recv() {
+        Ok(Ok(())) => Ok(handle),
+        Ok(Err(e)) => {
+            let _ = handle.join();
+            Err(e)
+        }
+        Err(_) => {
+            let _ = handle.join();
+            Err("scorer thread died during startup".into())
+        }
+    }
+}
+
+/// Owns the scorer's lifecycle: spawn, forward the startup handshake,
+/// respawn on panic (bounded), trip into degraded mode when the budget is
+/// exhausted, and drain the queue with typed errors on shutdown.
+fn supervisor_thread(
+    spec: ModelSpec,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+    startup_tx: mpsc::Sender<Result<(), String>>,
+) {
+    let spec = &spec;
+    let cfg = &cfg;
+    let shared = &*shared;
+    std::thread::scope(|scope| {
+        let mut incarnation: u64 = 0;
+        let mut handle = match spawn_scorer(scope, spec, cfg, shared, incarnation) {
+            Ok(handle) => {
+                let _ = startup_tx.send(Ok(()));
+                handle
+            }
+            Err(e) => {
+                let _ = startup_tx.send(Err(e));
+                return;
+            }
+        };
+        let mut respawns_left = cfg.max_respawns;
+        loop {
+            let exit = match handle.join() {
+                Ok(exit) => exit,
+                // A panic that escaped the per-batch guards (e.g. in the
+                // queue machinery itself) still only costs an incarnation.
+                Err(payload) => Exit::Panicked(panic_msg(payload.as_ref())),
+            };
+            let why = match exit {
+                Exit::Shutdown => return,
+                Exit::Panicked(why) => why,
+            };
+            shared.scorer_panics.fetch_add(1, Ordering::Relaxed);
+            SCORER_PANICS.inc();
+            eprintln!("warning: scorer panicked ({why}); supervisor recovering");
+            if shared.lock_queue().shutdown {
+                drain_queue_on_shutdown(shared);
+                return;
+            }
+            let mut respawned = None;
+            while respawns_left > 0 {
+                respawns_left -= 1;
+                incarnation += 1;
+                shared.respawns.fetch_add(1, Ordering::Relaxed);
+                RESPAWNS.inc();
+                match spawn_scorer(scope, spec, cfg, shared, incarnation) {
+                    Ok(handle) => {
+                        respawned = Some(handle);
+                        break;
+                    }
+                    Err(e) => eprintln!("warning: scorer respawn failed: {e}"),
+                }
+            }
+            match respawned {
+                Some(h) => handle = h,
+                None => {
+                    // Circuit breaker: answer from the fallback until a
+                    // reload brings a healthy scorer back.
+                    match degraded_loop(scope, spec, cfg, shared, &mut incarnation) {
+                        Some(h) => {
+                            handle = h;
+                            respawns_left = cfg.max_respawns;
+                        }
+                        None => return,
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Degraded mode: the supervisor itself answers requests from the
+/// [`FallbackRanker`] (marked `degraded: true`) and treats each reload
+/// request as a recovery attempt. Returns the healthy scorer's handle on
+/// recovery, or `None` on shutdown (queue fully drained either way).
+fn degraded_loop<'scope, 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    spec: &'env ModelSpec,
+    cfg: &'env ServeConfig,
+    shared: &'env Shared,
+    incarnation: &mut u64,
+) -> Option<std::thread::ScopedJoinHandle<'scope, Exit>> {
+    shared.degraded.store(true, Ordering::Relaxed);
+    DEGRADED.set(1);
+    eprintln!(
+        "warning: scorer respawn budget exhausted — serving popularity fallback \
+         (degraded) until a reload succeeds"
+    );
+    loop {
+        let job = {
+            let mut q = shared.lock_queue();
+            loop {
+                match q.pop_job() {
+                    Some(job) => break Some(job),
+                    None if q.shutdown => break None,
+                    None => q = shared.cond.wait(q).unwrap_or_else(|p| p.into_inner()),
+                }
+            }
+        };
+        let Some(job) = job else {
+            // Shutdown with an already-empty queue: nothing to drain.
+            return None;
+        };
+        match job {
+            Job::Score(js) => {
+                let Some(req) = expire_or_admit(shared, js) else {
+                    continue;
+                };
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.degraded_served.fetch_add(1, Ordering::Relaxed);
+                DEGRADED_SERVED.inc();
+                let result = shared
+                    .fallback
+                    .rank(&req.history, req.k)
+                    .map(|items| ServeResponse {
+                        items,
+                        degraded: true,
+                    });
+                req.slot.fill(result);
+            }
+            Job::Reload { slot } => {
+                *incarnation += 1;
+                match spawn_scorer(scope, spec, cfg, shared, *incarnation) {
+                    Ok(handle) => {
+                        shared.degraded.store(false, Ordering::Relaxed);
+                        DEGRADED.set(0);
+                        shared.reloads.fetch_add(1, Ordering::Relaxed);
+                        let epoch = shared.epoch.load(Ordering::Relaxed);
+                        slot.fill(Ok((epoch != NO_EPOCH).then_some(epoch)));
+                        return Some(handle);
+                    }
+                    Err(e) => {
+                        slot.fill(Err(ServeError::Internal(format!(
+                            "reload failed, engine still degraded: {e}"
+                        ))));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Answers every queued job with [`ServeError::Shutdown`] so no caller is
+/// left blocked when the engine dies mid-panic-recovery.
+fn drain_queue_on_shutdown(shared: &Shared) {
+    loop {
+        let job = shared.lock_queue().pop_job();
+        let Some(job) = job else { return };
+        match job {
+            Job::Score(js) => {
+                if js.slot.cancel() {
+                    js.slot.fill(Err(ServeError::Shutdown));
+                }
+            }
+            Job::Reload { slot } => slot.fill(Err(ServeError::Shutdown)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scorer incarnation
 // ---------------------------------------------------------------------------
 
 /// Loads weights into `model` from `source`. Validation is all-before-apply
-/// (see `snapshot::load_full` / `load_latest_values`), so an invalid source
-/// leaves the parameters untouched. Returns the checkpoint epoch loaded,
-/// when the source has one.
+/// (see `snapshot::load_full` / `load_latest_values_report`), so an invalid
+/// source leaves the parameters untouched. Returns the checkpoint epoch
+/// loaded, when the source has one. Subject to `corrupt_reload` fault
+/// injection.
 fn load_weights(
     model: &Isrec,
     source: &ModelSource,
     newer_than: Option<u64>,
+    shared: &Shared,
 ) -> Result<Option<u64>, String> {
+    if shared.faults_active.load(Ordering::Relaxed) {
+        let mut plan = shared.faults.lock().unwrap_or_else(|p| p.into_inner());
+        let corrupt = plan.take_corrupt_reload();
+        if plan.is_empty() {
+            shared.faults_active.store(false, Ordering::Relaxed);
+        }
+        drop(plan);
+        if corrupt {
+            return Err("fault injection: weight load treated as corrupt".into());
+        }
+    }
     let params = model.params();
     match source {
         ModelSource::Snapshot(path) => {
@@ -381,115 +918,194 @@ fn load_weights(
         }
         ModelSource::CheckpointDir(dir) => {
             let mgr = CheckpointManager::new(dir, 3)?;
-            Ok(mgr.load_latest_values(&params, newer_than))
+            let report = mgr.load_latest_values_report(&params, newer_than);
+            if report.skipped > 0 {
+                shared
+                    .reload_skipped
+                    .fetch_add(report.skipped as u64, Ordering::Relaxed);
+                RELOAD_SKIPPED.add(report.skipped as u64);
+            }
+            Ok(report.epoch)
         }
     }
 }
 
+/// An admitted request, ready to score.
 struct ScoreReq {
     history: Vec<usize>,
     k: usize,
-    slot: Arc<Slot<Vec<Recommendation>>>,
+    slot: Arc<Slot<ServeResponse>>,
 }
 
-fn scorer_thread(
-    spec: ModelSpec,
-    cfg: ServeConfig,
-    shared: Arc<Shared>,
-    ready_tx: mpsc::Sender<Result<(), String>>,
-) {
-    // Build + load inside the thread: the model never crosses threads.
-    let model = Isrec::new(&spec.dataset, spec.config.clone(), spec.seed);
-    let epoch = match load_weights(&model, &spec.source, None) {
-        Ok(Some(epoch)) => {
-            shared.epoch.store(epoch, Ordering::Relaxed);
-            Some(epoch)
-        }
-        Ok(None) => match &spec.source {
-            ModelSource::CheckpointDir(dir) => {
-                let _ = ready_tx.send(Err(format!("no valid checkpoint in {dir:?}")));
-                return;
+/// Pop-time admission: skips requests whose caller already gave up, and
+/// answers queue-expired deadlines right here — an expired request never
+/// wastes a forward pass.
+fn expire_or_admit(shared: &Shared, js: QueuedScore) -> Option<ScoreReq> {
+    if js.slot.is_canceled() {
+        return None;
+    }
+    if let Some(d) = js.deadline {
+        if Instant::now() >= d {
+            if js.slot.cancel() {
+                shared.timed_out.fetch_add(1, Ordering::Relaxed);
+                TIMED_OUT.inc();
+                js.slot.fill(Err(ServeError::DeadlineExceeded {
+                    budget: js.budget.unwrap_or_default(),
+                }));
             }
-            ModelSource::Snapshot(_) => None,
+            return None;
+        }
+    }
+    Some(ScoreReq {
+        history: js.history,
+        k: js.k,
+        slot: js.slot,
+    })
+}
+
+enum Work {
+    Batch(Vec<ScoreReq>),
+    Reload(Arc<Slot<Option<u64>>>),
+    Quit,
+}
+
+/// Blocks for the next unit of work, coalescing admitted requests into one
+/// batch: after the first request it waits up to `batch_timeout` for more,
+/// up to `max_batch`, stopping at a Reload so it runs between batches.
+fn next_work(shared: &Shared, cfg: &ServeConfig) -> Work {
+    let mut q = shared.lock_queue();
+    loop {
+        match q.pop_job() {
+            Some(Job::Reload { slot }) => return Work::Reload(slot),
+            Some(Job::Score(js)) => {
+                let Some(first) = expire_or_admit(shared, js) else {
+                    continue;
+                };
+                let mut batch = vec![first];
+                let window = Instant::now() + cfg.batch_timeout;
+                loop {
+                    while batch.len() < cfg.max_batch
+                        && matches!(q.jobs.front(), Some(Job::Score(_)))
+                    {
+                        match q.pop_job() {
+                            Some(Job::Score(js)) => {
+                                if let Some(req) = expire_or_admit(shared, js) {
+                                    batch.push(req);
+                                }
+                            }
+                            _ => unreachable!("front was a Score job"),
+                        }
+                    }
+                    let now = Instant::now();
+                    if batch.len() >= cfg.max_batch
+                        || now >= window
+                        || q.shutdown
+                        || matches!(q.jobs.front(), Some(Job::Reload { .. }))
+                    {
+                        return Work::Batch(batch);
+                    }
+                    let (guard, _) = shared
+                        .cond
+                        .wait_timeout(q, window - now)
+                        .unwrap_or_else(|p| p.into_inner());
+                    q = guard;
+                }
+            }
+            None if q.shutdown => return Work::Quit,
+            None => {
+                q = shared.cond.wait(q).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+    }
+}
+
+/// One scorer incarnation: build + load (handshaked back to the
+/// supervisor), then serve batches and reloads until shutdown or a panic.
+/// Every batch and reload runs under `catch_unwind`, and a panic fails only
+/// the work that was executing — its requests get a typed
+/// [`ServeError::ScorerPanic`] before the incarnation exits.
+fn scorer_incarnation(
+    spec: &ModelSpec,
+    cfg: &ServeConfig,
+    shared: &Shared,
+    ready_tx: mpsc::Sender<Result<(), String>>,
+) -> Exit {
+    let built = catch_unwind(AssertUnwindSafe(
+        || -> Result<(Isrec, Option<u64>), String> {
+            let model = Isrec::new(&spec.dataset, spec.config.clone(), spec.seed);
+            let epoch = match load_weights(&model, &spec.source, None, shared)? {
+                Some(epoch) => Some(epoch),
+                None => match &spec.source {
+                    ModelSource::CheckpointDir(dir) => {
+                        return Err(format!("no valid checkpoint in {dir:?}"));
+                    }
+                    ModelSource::Snapshot(_) => None,
+                },
+            };
+            Ok((model, epoch))
         },
-        Err(e) => {
+    ));
+    let (model, mut epoch) = match built {
+        Ok(Ok(ok)) => ok,
+        Ok(Err(e)) => {
             let _ = ready_tx.send(Err(e));
-            return;
+            return Exit::Shutdown;
+        }
+        Err(payload) => {
+            let _ = ready_tx.send(Err(format!(
+                "scorer startup panicked: {}",
+                panic_msg(payload.as_ref())
+            )));
+            return Exit::Shutdown;
         }
     };
-    let mut epoch = epoch;
+    if let Some(e) = epoch {
+        shared.epoch.store(e, Ordering::Relaxed);
+    }
     let mut table_t = model.output_item_table_t();
     let mut cache = ReprCache::new(cfg.cache_entries);
     let _ = ready_tx.send(Ok(()));
 
     loop {
-        enum Work {
-            Batch(Vec<ScoreReq>),
-            Reload(Arc<Slot<Option<u64>>>),
-            Quit,
-        }
-        let work = {
-            let mut q = shared.lock_queue();
-            loop {
-                match q.jobs.pop_front() {
-                    Some(Job::Reload { slot }) => break Work::Reload(slot),
-                    Some(Job::Score { history, k, slot }) => {
-                        let mut batch = vec![ScoreReq { history, k, slot }];
-                        let deadline = Instant::now() + cfg.batch_timeout;
-                        // Coalesce: drain queued requests, then wait out the
-                        // batching window for more, up to max_batch. Stop at
-                        // a Reload so it runs between batches.
-                        loop {
-                            while batch.len() < cfg.max_batch {
-                                match q.jobs.front() {
-                                    Some(Job::Score { .. }) => match q.jobs.pop_front() {
-                                        Some(Job::Score { history, k, slot }) => {
-                                            batch.push(ScoreReq { history, k, slot })
-                                        }
-                                        _ => unreachable!("front was a Score job"),
-                                    },
-                                    _ => break,
-                                }
-                            }
-                            let now = Instant::now();
-                            if batch.len() >= cfg.max_batch
-                                || now >= deadline
-                                || q.shutdown
-                                || matches!(q.jobs.front(), Some(Job::Reload { .. }))
-                            {
-                                break;
-                            }
-                            let (guard, _) = shared
-                                .cond
-                                .wait_timeout(q, deadline - now)
-                                .unwrap_or_else(|p| p.into_inner());
-                            q = guard;
-                        }
-                        break Work::Batch(batch);
-                    }
-                    None if q.shutdown => break Work::Quit,
-                    None => {
-                        q = shared.cond.wait(q).unwrap_or_else(|p| p.into_inner());
-                    }
-                }
-            }
-        };
-        match work {
-            Work::Quit => return,
+        match next_work(shared, cfg) {
+            Work::Quit => return Exit::Shutdown,
             Work::Reload(slot) => {
-                let result = reload_model(&spec, &model, &mut epoch, &mut table_t, &mut cache);
-                if matches!(result, Ok(Some(_)))
-                    || matches!(&spec.source, ModelSource::Snapshot(_) if result.is_ok())
-                {
-                    shared.reloads.fetch_add(1, Ordering::Relaxed);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    reload_model(spec, &model, &mut epoch, &mut table_t, &mut cache, shared)
+                }));
+                match outcome {
+                    Ok(result) => {
+                        if matches!(result, Ok(Some(_)))
+                            || matches!(&spec.source, ModelSource::Snapshot(_) if result.is_ok())
+                        {
+                            shared.reloads.fetch_add(1, Ordering::Relaxed);
+                        }
+                        if let Ok(Some(e)) = &result {
+                            shared.epoch.store(*e, Ordering::Relaxed);
+                        }
+                        slot.fill(result.map_err(ServeError::Internal));
+                    }
+                    Err(payload) => {
+                        let why = panic_msg(payload.as_ref());
+                        slot.fill(Err(ServeError::ScorerPanic(why.clone())));
+                        return Exit::Panicked(why);
+                    }
                 }
-                if let Ok(Some(e)) = &result {
-                    shared.epoch.store(*e, Ordering::Relaxed);
-                }
-                slot.fill(result);
             }
             Work::Batch(batch) => {
-                process_batch(&model, &table_t, &mut cache, &shared, batch);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    process_batch(&model, &table_t, &mut cache, shared, &batch)
+                }));
+                if let Err(payload) = outcome {
+                    // Fail only the poisoned batch: each of its requests
+                    // gets a typed error; everyone still queued is served
+                    // by the respawned incarnation.
+                    let why = panic_msg(payload.as_ref());
+                    for req in &batch {
+                        req.slot.fill(Err(ServeError::ScorerPanic(why.clone())));
+                    }
+                    return Exit::Panicked(why);
+                }
             }
         }
     }
@@ -503,8 +1119,9 @@ fn reload_model(
     epoch: &mut Option<u64>,
     table_t: &mut Tensor,
     cache: &mut ReprCache,
+    shared: &Shared,
 ) -> Result<Option<u64>, String> {
-    match load_weights(model, &spec.source, *epoch)? {
+    match load_weights(model, &spec.source, *epoch, shared)? {
         Some(new_epoch) => {
             *epoch = Some(new_epoch);
             *table_t = model.output_item_table_t();
@@ -523,13 +1140,39 @@ fn reload_model(
     }
 }
 
+/// Fetches the injected fault for the batch about to score. Fast path: one
+/// relaxed load once the plan has drained.
+fn take_batch_fault(shared: &Shared) -> Option<BatchFault> {
+    if !shared.faults_active.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut plan = shared.faults.lock().unwrap_or_else(|p| p.into_inner());
+    let fault = plan.take_batch();
+    if plan.is_empty() {
+        shared.faults_active.store(false, Ordering::Relaxed);
+    }
+    (fault != BatchFault::default()).then_some(fault)
+}
+
 fn process_batch(
     model: &Isrec,
     table_t: &Tensor,
     cache: &mut ReprCache,
     shared: &Shared,
-    batch: Vec<ScoreReq>,
+    batch: &[ScoreReq],
 ) {
+    // Fault injection fires before any cache mutation so a poisoned batch
+    // leaves no half-written state behind.
+    if let Some(fault) = take_batch_fault(shared) {
+        if let Some(stall) = fault.slow {
+            eprintln!("fault injection: stalling batch {}ms", stall.as_millis());
+            std::thread::sleep(stall);
+        }
+        if fault.panic {
+            panic!("fault injection: scorer panic mid-batch");
+        }
+    }
+
     let m = batch.len();
     let d = table_t.shape()[0];
     let num_items = table_t.shape()[1];
@@ -572,14 +1215,6 @@ fn process_batch(
         }
     }
 
-    // One GEMM scores the whole batch; each output row depends only on its
-    // own representation row, so results are independent of batch makeup.
-    let mut stacked = Vec::with_capacity(m * d);
-    for row in &rows {
-        stacked.extend_from_slice(row.as_deref().expect("every row resolved"));
-    }
-    let scores = matmul(&Tensor::from_vec(stacked, &[m, d]), table_t);
-
     // Publish counters *before* filling any slot: a caller that wakes up
     // from its response must already see this batch in `stats()`.
     shared.requests.fetch_add(m as u64, Ordering::Relaxed);
@@ -589,8 +1224,37 @@ fn process_batch(
     shared.cache_hits.store(hits, Ordering::Relaxed);
     shared.cache_misses.store(misses, Ordering::Relaxed);
 
-    for (i, req) in batch.iter().enumerate() {
-        let row = &scores.data()[i * num_items..(i + 1) * num_items];
-        req.slot.fill(top_k(row, req.k));
+    // One GEMM scores the whole batch; each output row depends only on its
+    // own representation row, so results are independent of batch makeup.
+    // A row that failed to resolve fails only its own request.
+    let mut resolved: Vec<usize> = Vec::with_capacity(m);
+    let mut stacked: Vec<f32> = Vec::with_capacity(m * d);
+    for (i, (row, req)) in rows.iter().zip(batch).enumerate() {
+        match row {
+            Some(r) => {
+                resolved.push(i);
+                stacked.extend_from_slice(r);
+            }
+            None => req.slot.fill(Err(ServeError::Internal(
+                "representation row unresolved after forward pass".into(),
+            ))),
+        }
+    }
+    if resolved.is_empty() {
+        return;
+    }
+    let scores = matmul(&Tensor::from_vec(stacked, &[resolved.len(), d]), table_t);
+
+    for (j, &i) in resolved.iter().enumerate() {
+        let row = &scores.data()[j * num_items..(j + 1) * num_items];
+        let req = &batch[i];
+        req.slot.fill(
+            top_k(row, req.k)
+                .map(|items| ServeResponse {
+                    items,
+                    degraded: false,
+                })
+                .map_err(ServeError::Internal),
+        );
     }
 }

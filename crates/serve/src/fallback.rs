@@ -1,0 +1,117 @@
+//! Degraded-mode fallback ranker: recency-weighted popularity.
+//!
+//! When the circuit breaker trips (scorer respawns exhausted, or weights
+//! unloadable), the engine must keep answering — worse answers beat no
+//! answers at the tail. This ranker is built once from the dataset at
+//! engine startup and has **zero dependencies on the model, the scorer
+//! thread, or the weight files**: it is a plain score table plus the same
+//! [`top_k`](crate::top_k) reduction the healthy path uses, so it cannot
+//! itself panic or block.
+
+use ist_data::SequentialDataset;
+
+use crate::engine::Recommendation;
+use crate::error::ServeError;
+use crate::topk::top_k;
+
+/// A static popularity/recency ranking over the catalog.
+///
+/// Each interaction contributes `(position + 1) / seq_len` to its item —
+/// an item's score grows with how often it occurs and how *recently*
+/// within each history (the tail of a sequence counts ~1.0, the head
+/// ~1/len). Scores are fixed at construction; requests only mask out their
+/// own history so users are not recommended what they just consumed.
+pub struct FallbackRanker {
+    scores: Vec<f32>,
+}
+
+impl FallbackRanker {
+    /// Builds the score table from the dataset's interaction sequences.
+    /// `O(interactions)`; every score is finite by construction.
+    pub fn build(ds: &SequentialDataset) -> FallbackRanker {
+        let mut acc = vec![0.0f64; ds.num_items];
+        for seq in &ds.sequences {
+            let n = seq.len();
+            for (pos, &item) in seq.iter().enumerate() {
+                if item < acc.len() {
+                    acc[item] += (pos + 1) as f64 / n as f64;
+                }
+            }
+        }
+        FallbackRanker {
+            scores: acc.into_iter().map(|s| s as f32).collect(),
+        }
+    }
+
+    /// Catalog size the ranker was built for.
+    pub fn num_items(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// The top `k` items not in `history`, best first, deterministic
+    /// (ties toward the smaller item id). If `k` exceeds the unmasked
+    /// catalog, masked (history) items fill the tail — a response is never
+    /// silently short.
+    pub fn rank(&self, history: &[usize], k: usize) -> Result<Vec<Recommendation>, ServeError> {
+        let mut masked = self.scores.clone();
+        for &item in history {
+            if let Some(s) = masked.get_mut(item) {
+                // f32::MIN, not NEG_INFINITY: top_k rejects non-finite
+                // scores, and the fallback must never be rejectable.
+                *s = f32::MIN;
+            }
+        }
+        top_k(&masked, k).map_err(ServeError::Internal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ist_data::{IntentWorld, WorldConfig};
+
+    fn dataset() -> SequentialDataset {
+        IntentWorld::new(WorldConfig::beauty_like().scaled(0.1)).generate(5)
+    }
+
+    #[test]
+    fn ranks_by_recency_weighted_popularity() {
+        let mut ds = dataset();
+        ds.num_items = 4;
+        // Item 2 occurs most and latest; item 0 only at sequence heads.
+        ds.sequences = vec![vec![0, 1, 2], vec![0, 3, 2], vec![1, 2]];
+        let r = FallbackRanker::build(&ds);
+        let top = r.rank(&[], 4).unwrap();
+        assert_eq!(top[0].item, 2, "most-recent/most-popular item first");
+        assert_eq!(top.len(), 4);
+        // Scores descend (ties broken by id, so non-strict ordering).
+        assert!(top.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn history_items_are_masked_to_the_tail() {
+        let mut ds = dataset();
+        ds.num_items = 3;
+        ds.sequences = vec![vec![2, 2, 2, 1, 0]];
+        let r = FallbackRanker::build(&ds);
+        let top = r.rank(&[2], 2).unwrap();
+        assert_ne!(top[0].item, 2, "consumed item must not lead the ranking");
+        // Asking for the whole catalog still returns everything — masked
+        // items sink, they do not vanish.
+        let all = r.rank(&[2], 3).unwrap();
+        assert_eq!(all.len(), 3);
+        assert_eq!(all[2].item, 2);
+    }
+
+    #[test]
+    fn deterministic_and_finite_on_a_real_world() {
+        let ds = dataset();
+        let r = FallbackRanker::build(&ds);
+        assert_eq!(r.num_items(), ds.num_items);
+        let a = r.rank(&ds.sequences[0], 10).unwrap();
+        let b = r.rank(&ds.sequences[0], 10).unwrap();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|rec| rec.score.is_finite()));
+        assert_eq!(a.len(), 10.min(ds.num_items));
+    }
+}

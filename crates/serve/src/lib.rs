@@ -34,6 +34,33 @@
 //!   the weights atomically (validate-before-apply) and clears the cache,
 //!   while a torn/corrupt file is skipped and the old model keeps serving.
 //!
+//! ## Resilience
+//!
+//! Every call returns a typed [`ServeError`] rather than blocking forever
+//! or propagating a panic:
+//!
+//! * **Deadlines** — [`ScoreEngine::recommend_with_deadline`] (default via
+//!   `IST_SERVE_DEADLINE_MS`) is enforced at admission, at batch-assembly
+//!   time, and caller-side, answering `DeadlineExceeded` on time whatever
+//!   state the scorer is in.
+//! * **Load shedding** — the admission queue is bounded
+//!   (`IST_SERVE_QUEUE`); when full, the queued request with the oldest
+//!   deadline is answered `Shed` (counter `serve.shed`).
+//! * **Panic recovery** — batches run under `catch_unwind`; a panic fails
+//!   only the poisoned batch (`ScorerPanic`) and a supervisor respawns the
+//!   scorer with freshly-loaded weights, up to `IST_SERVE_MAX_RESPAWNS`
+//!   times.
+//! * **Degraded mode** — once the respawn budget is exhausted, a
+//!   zero-dependency popularity/recency [`FallbackRanker`] keeps answering
+//!   (responses marked `degraded: true`, gauge `serve.degraded`) until a
+//!   [`reload`](ScoreEngine::reload) brings a healthy scorer back.
+//! * **Fault injection** — `IST_SERVE_FAULTS`
+//!   (`panic@batchN|slow@batchN:MS|corrupt_reload@K`, see
+//!   [`ServeFaultPlan`]) makes all of the above deterministic enough for
+//!   ordinary tests and the CI chaos gate. With no faults injected, the
+//!   resilience layer never changes a score: fault-free serving stays
+//!   bitwise identical.
+//!
 //! Instrumentation rides on `ist-obs`: a `serve.request` span + latency
 //! histogram (p50/p95/p99 in the summary table) per request and a
 //! `serve.batch` span per forward pass.
@@ -42,8 +69,16 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
+pub mod fallback;
+pub mod resilience;
 pub mod topk;
 
 pub use cache::ReprCache;
-pub use engine::{EngineStats, ModelSource, ModelSpec, Recommendation, ScoreEngine, ServeConfig};
+pub use engine::{
+    EngineStats, ModelSource, ModelSpec, Recommendation, ScoreEngine, ServeConfig, ServeResponse,
+};
+pub use error::ServeError;
+pub use fallback::FallbackRanker;
+pub use resilience::{BatchFault, ServeFaultPlan};
 pub use topk::top_k;

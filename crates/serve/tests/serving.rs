@@ -66,6 +66,7 @@ fn batched_scores_are_bitwise_identical_to_unbatched() {
             max_batch: 1,
             batch_timeout: std::time::Duration::ZERO,
             cache_entries: 0,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -75,6 +76,7 @@ fn batched_scores_are_bitwise_identical_to_unbatched() {
             max_batch: 32,
             batch_timeout: std::time::Duration::from_millis(100),
             cache_entries: 64,
+            ..ServeConfig::default()
         },
     )
     .unwrap();
@@ -83,7 +85,7 @@ fn batched_scores_are_bitwise_identical_to_unbatched() {
     let hists = histories(&ds, 8);
     let want: Vec<Vec<Recommendation>> = hists
         .iter()
-        .map(|h| serial.recommend(h, 10).unwrap())
+        .map(|h| serial.recommend(h, 10).unwrap().items)
         .collect();
 
     // Release every client at once so the micro-batcher actually coalesces.
@@ -94,7 +96,9 @@ fn batched_scores_are_bitwise_identical_to_unbatched() {
             .map(|h| {
                 scope.spawn(|| {
                     barrier.wait();
-                    batched.recommend(h, 10).unwrap()
+                    let resp = batched.recommend(h, 10).unwrap();
+                    assert!(!resp.degraded, "healthy engine must not degrade");
+                    resp.items
                 })
             })
             .collect();
@@ -167,7 +171,7 @@ fn k_larger_than_catalog_returns_the_whole_catalog() {
     let engine = ScoreEngine::start(snapshot_spec(&dir, 7), ServeConfig::default()).unwrap();
     let ds = tiny_dataset();
     let got = engine.recommend(&ds.sequences[0][..3], usize::MAX).unwrap();
-    assert_eq!(got.len(), ds.num_items);
+    assert_eq!(got.items.len(), ds.num_items);
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -350,10 +350,14 @@ fn cmd_graph_dump(args: &Args) -> Result<(), String> {
 /// snapshot or checkpoint dir, replays `--requests <file>` (one
 /// space/comma-separated history per line) or a `--synthetic N` stream from
 /// `--clients` concurrent threads, and prints a throughput/latency report.
+/// `--deadline-ms N` sets a per-request deadline (0 disables; default from
+/// `IST_SERVE_DEADLINE_MS`). `--allow-errors 1` keeps the run alive when
+/// requests fail with typed errors (sheds, timeouts, scorer panics — the
+/// chaos gate's bread and butter) and reports them per kind instead.
 /// `--report <path>` additionally writes the machine-readable
-/// `isrec.serve_report.v1` JSON consumed by the CI serve stage.
+/// `isrec.serve_report.v2` JSON consumed by the CI serve and chaos stages.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    use isrec_suite::serve::{ModelSource, ModelSpec, ScoreEngine, ServeConfig};
+    use isrec_suite::serve::{ModelSource, ModelSpec, ScoreEngine, ServeConfig, ServeResponse};
 
     let ds = load(args)?;
     let source = match (args.get("snapshot"), args.get("checkpoint-dir")) {
@@ -412,7 +416,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         return Err("empty request stream".into());
     }
 
-    let serve_cfg = ServeConfig::from_env();
+    let mut serve_cfg = ServeConfig::from_env();
+    if let Some(ms) = args.get("deadline-ms") {
+        let ms: u64 = ms.parse().map_err(|e| format!("--deadline-ms: {e}"))?;
+        serve_cfg.deadline = (ms > 0).then(|| std::time::Duration::from_millis(ms));
+    }
+    let allow_errors = args.get("allow-errors").is_some();
     let spec = ModelSpec {
         config: IsrecConfig {
             max_len: args.num("max-len", 20usize)?,
@@ -433,13 +442,13 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let engine = ScoreEngine::start(spec, serve_cfg.clone())?;
 
     // Replay: client c takes requests i ≡ c (mod clients); each thread
-    // reports (request index, latency µs, recommendations) so the merged
+    // reports (request index, latency µs, typed result) so the merged
     // result is request-ordered regardless of scheduling.
     let total = requests.len();
     let wall = std::time::Instant::now();
-    let mut results: Vec<Option<(u64, Vec<isrec_suite::serve::Recommendation>)>> =
+    let mut results: Vec<Option<(u64, Result<ServeResponse, isrec_suite::serve::ServeError>)>> =
         vec![None; total];
-    let worker_errors: Vec<String> = std::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..clients {
             let engine = &engine;
@@ -448,43 +457,59 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 let mut out = Vec::new();
                 for i in (c..requests.len()).step_by(clients) {
                     let t0 = std::time::Instant::now();
-                    let recs = engine.recommend(&requests[i], k);
+                    let result = engine.recommend(&requests[i], k);
                     let us = t0.elapsed().as_micros() as u64;
-                    out.push((i, us, recs));
+                    out.push((i, us, result));
                 }
                 out
             }));
         }
-        let mut errors = Vec::new();
         for handle in handles {
-            for (i, us, recs) in handle.join().expect("serve client panicked") {
-                match recs {
-                    Ok(recs) => results[i] = Some((us, recs)),
-                    Err(e) => errors.push(format!("request {i}: {e}")),
+            for (i, us, result) in handle.join().expect("serve client panicked") {
+                results[i] = Some((us, result));
+            }
+        }
+    });
+    let elapsed = wall.elapsed().as_secs_f64();
+
+    // Exact client-side latency quantiles + a CRC over every ranked
+    // (item, score-bits) pair of the *answered* requests, in request
+    // order: any batching-, threading- or caching-dependent divergence
+    // changes this fingerprint. (Fault-free, every request is answered, so
+    // the fingerprint covers the full stream.)
+    let mut latencies: Vec<u64> = Vec::with_capacity(total);
+    let mut fingerprint: Vec<u8> = Vec::new();
+    let mut answered = 0u64;
+    let mut degraded_answers = 0u64;
+    let mut error_kinds: std::collections::BTreeMap<&'static str, u64> =
+        std::collections::BTreeMap::new();
+    let mut first_error: Option<String> = None;
+    for (i, slot) in results.iter().enumerate() {
+        let (us, result) = slot.as_ref().expect("every request recorded");
+        latencies.push(*us);
+        match result {
+            Ok(resp) => {
+                answered += 1;
+                if resp.degraded {
+                    degraded_answers += 1;
+                }
+                for r in &resp.items {
+                    fingerprint.extend_from_slice(&(r.item as u32).to_le_bytes());
+                    fingerprint.extend_from_slice(&r.score.to_bits().to_le_bytes());
+                }
+            }
+            Err(e) => {
+                *error_kinds.entry(e.kind()).or_insert(0) += 1;
+                if first_error.is_none() {
+                    first_error = Some(format!("request {i}: {e}"));
                 }
             }
         }
-        errors
-    });
-    let elapsed = wall.elapsed().as_secs_f64();
-    if let Some(e) = worker_errors.first() {
-        return Err(format!(
-            "{} request(s) failed; first: {e}",
-            worker_errors.len()
-        ));
     }
-
-    // Exact client-side latency quantiles + a CRC over every ranked
-    // (item, score-bits) pair in request order: any batching-, threading-
-    // or caching-dependent divergence changes this fingerprint.
-    let mut latencies: Vec<u64> = Vec::with_capacity(total);
-    let mut fingerprint: Vec<u8> = Vec::new();
-    for slot in &results {
-        let (us, recs) = slot.as_ref().expect("all requests answered");
-        latencies.push(*us);
-        for r in recs {
-            fingerprint.extend_from_slice(&(r.item as u32).to_le_bytes());
-            fingerprint.extend_from_slice(&r.score.to_bits().to_le_bytes());
+    let failed = total as u64 - answered;
+    if !allow_errors {
+        if let Some(e) = first_error {
+            return Err(format!("{failed} request(s) failed; first: {e}"));
         }
     }
     let scores_crc = isrec_suite::isrec::snapshot::crc32(&fingerprint);
@@ -518,6 +543,28 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         stats.cache_misses,
         stats.hit_rate() * 100.0
     );
+    println!(
+        "resilience: {answered}/{total} answered ({degraded_answers} degraded), \
+         {failed} failed; shed {} / timed_out {} / panics {} / respawns {} / \
+         reload_skipped {}{}",
+        stats.shed,
+        stats.timed_out,
+        stats.scorer_panics,
+        stats.respawns,
+        stats.reload_skipped,
+        if stats.degraded {
+            " — engine still degraded"
+        } else {
+            ""
+        }
+    );
+    if !error_kinds.is_empty() {
+        let detail: Vec<String> = error_kinds
+            .iter()
+            .map(|(kind, n)| format!("{kind}: {n}"))
+            .collect();
+        println!("typed errors: {}", detail.join(", "));
+    }
     println!("scores_crc: {scores_crc:#010x}");
 
     if let Some(path) = args.get("report") {
@@ -525,10 +572,19 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             Some(e) => e.to_string(),
             None => "null".to_string(),
         };
+        let errors_json = if error_kinds.is_empty() {
+            "{}".to_string()
+        } else {
+            let fields: Vec<String> = error_kinds
+                .iter()
+                .map(|(kind, n)| format!("\"{kind}\": {n}"))
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        };
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"isrec.serve_report.v1\",\n",
+                "  \"schema\": \"isrec.serve_report.v2\",\n",
                 "  \"dataset\": \"{dataset}\",\n",
                 "  \"source\": \"{source}\",\n",
                 "  \"epoch\": {epoch},\n",
@@ -540,7 +596,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 "  \"latency_us\": {{\"p50\": {p50}, \"p95\": {p95}, \"p99\": {p99}, \"mean\": {mean:.1}, \"max\": {max}}},\n",
                 "  \"batch\": {{\"count\": {batches}, \"avg\": {avg_batch:.3}, \"max\": {max_batch}}},\n",
                 "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}},\n",
-                "  \"config\": {{\"max_batch\": {cfg_batch}, \"batch_timeout_us\": {cfg_timeout}, \"cache_entries\": {cfg_cache}}},\n",
+                "  \"resilience\": {{\"answered\": {answered}, \"failed\": {failed}, \"degraded_answers\": {degraded_answers}, \"shed\": {shed}, \"timed_out\": {timed_out}, \"scorer_panics\": {panics}, \"respawns\": {respawns}, \"reload_skipped\": {reload_skipped}, \"degraded\": {degraded}, \"errors\": {errors}}},\n",
+                "  \"config\": {{\"max_batch\": {cfg_batch}, \"batch_timeout_us\": {cfg_timeout}, \"cache_entries\": {cfg_cache}, \"deadline_ms\": {cfg_deadline}, \"queue_cap\": {cfg_queue}, \"max_respawns\": {cfg_respawns}}},\n",
                 "  \"scores_crc\": {crc}\n",
                 "}}\n"
             ),
@@ -563,9 +620,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             hits = stats.cache_hits,
             misses = stats.cache_misses,
             hit_rate = stats.hit_rate(),
+            answered = answered,
+            failed = failed,
+            degraded_answers = degraded_answers,
+            shed = stats.shed,
+            timed_out = stats.timed_out,
+            panics = stats.scorer_panics,
+            respawns = stats.respawns,
+            reload_skipped = stats.reload_skipped,
+            degraded = stats.degraded,
+            errors = errors_json,
             cfg_batch = serve_cfg.max_batch,
             cfg_timeout = serve_cfg.batch_timeout.as_micros(),
             cfg_cache = serve_cfg.cache_entries,
+            cfg_deadline = serve_cfg
+                .deadline
+                .map_or(0, |d| d.as_millis() as u64),
+            cfg_queue = serve_cfg.queue_cap,
+            cfg_respawns = serve_cfg.max_respawns,
             crc = scores_crc,
         );
         if let Some(parent) = PathBuf::from(path).parent() {
