@@ -57,6 +57,9 @@ run_clippy() {
 run_bench() {
     stage "benches compile: cargo bench --no-run"
     cargo bench --no-run --workspace --locked
+    # Bench binaries are not covered by `cargo bench --no-run`; keep the
+    # serve-throughput sweep compiling (it backs BENCH_serve.json).
+    cargo build --release --locked -p ist-bench --bin bench_serve --bin bench_gemm
 }
 
 run_determinism() {
@@ -231,13 +234,14 @@ EOF
 }
 
 run_serve() {
-    stage "serving gate: batched inference, latency report, bitwise batch/thread invariance"
+    stage "serving gate: batched inference, latency report, bitwise batch/thread/shard invariance"
     # Train a small checkpoint, replay a synthetic 2000-request stream
     # through `isrec serve`, validate the JSON report (finite p99, real
     # batching, cache hits on a repeated-user stream), then re-serve the
-    # same stream under IST_SERVE_BATCH=1 vs 32 and IST_THREADS=1 vs 4 —
-    # the result fingerprint must be bitwise identical in all of them
-    # (batching/parallelism must never change scores).
+    # same stream under IST_SERVE_BATCH=1 vs 32, IST_THREADS=1 vs 4, and
+    # IST_SERVE_SHARDS=1/2/4 — the result fingerprint must be bitwise
+    # identical in all of them (batching/parallelism/sharding must never
+    # change scores).
     local work
     mktempd_tracked work
     cargo run --release --locked --bin isrec -- \
@@ -253,8 +257,11 @@ run_serve() {
 import json, math, sys
 
 r = json.load(open(sys.argv[1]))
-if r.get("schema") != "isrec.serve_report.v2":
+if r.get("schema") != "isrec.serve_report.v3":
     sys.exit(f"FAIL: unexpected report schema {r.get('schema')!r}")
+shard = r["shard"]
+if shard["count"] < 1:
+    sys.exit(f"FAIL: shard block reports no shards in effect: {shard}")
 p99 = r["latency_us"]["p99"]
 if not (isinstance(p99, (int, float)) and math.isfinite(p99) and p99 > 0):
     sys.exit(f"FAIL: p99 latency is not a positive finite number: {p99!r}")
@@ -293,7 +300,8 @@ if "serve.request_us" not in hists:
 print("serve telemetry ok: spans + latency histogram present")
 EOF
     local variant crc crcs=()
-    for variant in "IST_SERVE_BATCH=1" "IST_SERVE_BATCH=32" "IST_THREADS=1" "IST_THREADS=4"; do
+    for variant in "IST_SERVE_BATCH=1" "IST_SERVE_BATCH=32" "IST_THREADS=1" "IST_THREADS=4" \
+                   "IST_SERVE_SHARDS=1" "IST_SERVE_SHARDS=2" "IST_SERVE_SHARDS=4"; do
         env "$variant" cargo run --release --locked --bin isrec -- \
             serve --data "$work/data" --checkpoint-dir "$work/ckpts" \
             --synthetic 500 --report "$work/report_variant.json" >/dev/null
@@ -306,7 +314,7 @@ EOF
         echo "FAIL: scores are not bitwise identical across batch/thread configs" >&2
         exit 1
     fi
-    echo "scores bitwise identical across IST_SERVE_BATCH=1/32 and IST_THREADS=1/4"
+    echo "scores bitwise identical across IST_SERVE_BATCH=1/32, IST_THREADS=1/4, IST_SERVE_SHARDS=1/2/4"
 }
 
 run_chaos() {
@@ -314,7 +322,8 @@ run_chaos() {
     # Train once, then serve the same synthetic stream three times:
     #   1. fault-free baseline → record scores_crc, resilience all-zero;
     #   2. chaos soak under IST_SERVE_FAULTS (slow batch, scorer panics,
-    #      corrupt respawn reload) with a per-request deadline — every
+    #      corrupt respawn reload) with sharded scoring (IST_SERVE_SHARDS=4)
+    #      and a per-request deadline — every
     #      request must end in a typed response before its deadline and the
     #      engine must recover (no lingering degraded mode, no deadlock);
     #   3. fault-free rerun → scores_crc bitwise identical to the baseline
@@ -330,6 +339,7 @@ run_chaos() {
         serve --data "$work/data" --snapshot "$work/model.bin" \
         --synthetic 600 --report "$work/report_baseline.json" >/dev/null
     IST_SERVE_FAULTS='slow@batch2:100,panic@batch4,corrupt_reload@2,panic@batch9' \
+        IST_SERVE_SHARDS=4 \
         cargo run --release --locked --bin isrec -- \
         serve --data "$work/data" --snapshot "$work/model.bin" \
         --synthetic 600 --deadline-ms 2000 --allow-errors 1 \
@@ -343,8 +353,10 @@ import json, sys
 
 base, chaos, rerun = (json.load(open(p)) for p in sys.argv[1:4])
 for name, r in (("baseline", base), ("chaos", chaos), ("rerun", rerun)):
-    if r.get("schema") != "isrec.serve_report.v2":
+    if r.get("schema") != "isrec.serve_report.v3":
         sys.exit(f"FAIL: {name}: unexpected report schema {r.get('schema')!r}")
+if chaos["shard"]["count"] != 4:
+    sys.exit(f"FAIL: chaos run ignored IST_SERVE_SHARDS=4: {chaos['shard']}")
 
 # Chaos soak: every request accounted for with a typed outcome.
 res = chaos["resilience"]

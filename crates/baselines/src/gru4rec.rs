@@ -275,12 +275,7 @@ mod tests {
         let report = m.fit(&ds, &split, &cfg);
         assert!(report.improved());
         let s = m.score(&[0, 1, 2], &[3, 0, 1]);
-        let best = s
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let best = ist_tensor::order::try_argmax(&s).expect("trained scores are finite");
         assert_eq!(best, 0, "after …,2 the next is 3: {s:?}");
     }
 

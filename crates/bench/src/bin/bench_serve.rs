@@ -1,0 +1,180 @@
+//! Serving-path throughput report: the monolithic full-catalog GEMM vs
+//! column-sharded scoring across shard counts, on a large synthetic
+//! catalog. Writes `BENCH_serve.json` (ms per scoring call, throughput in
+//! requests/s, plus warmup/iteration counts) and prints a table to stdout.
+//!
+//! Every configuration's top-K lists are fingerprinted with the same
+//! CRC32 the serve report uses; the run aborts if any shard count changes
+//! a single bit, so the committed artifact doubles as a determinism check.
+//!
+//! Usage: `cargo run --release -p ist-bench --bin bench_serve [out.json]`
+
+use ist_bench::gemm::{rows_to_json, time_ms, BenchRow, WARMUP};
+use ist_serve::engine::Recommendation;
+use ist_serve::{top_k, ShardPlan};
+use ist_tensor::matmul::matmul;
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::Tensor;
+
+/// Catalog width: large enough that the monolithic score matrix falls out
+/// of cache at serving batch sizes (m=32 → 16 MB of scores).
+const NUM_ITEMS: usize = 131_072;
+/// Representation width, matching the default serving checkpoints.
+const DIM: usize = 64;
+/// Scoring batch sizes: single-request latency up to a full micro-batch.
+const BATCHES: [usize; 3] = [1, 8, 32];
+/// Shard counts swept for the sharded path.
+const SHARDS: [usize; 5] = [1, 2, 4, 8, 16];
+/// Top-K depth per request (the serve default).
+const K: usize = 10;
+
+/// CRC32 fingerprint of ranked lists, byte-compatible with the serve
+/// report's `scores_crc`: (item id LE, score bits LE) per recommendation,
+/// rows in order.
+fn fingerprint(rows: &[Vec<Recommendation>]) -> u32 {
+    let mut bytes = Vec::new();
+    for row in rows {
+        for rec in row {
+            bytes.extend_from_slice(&(rec.item as u32).to_le_bytes());
+            bytes.extend_from_slice(&rec.score.to_bits().to_le_bytes());
+        }
+    }
+    isrec_core::snapshot::crc32(&bytes)
+}
+
+/// The engine's historical scoring path: one full-width GEMM, then top-K
+/// over each (by then cache-cold) score row.
+fn score_monolithic(reprs: &Tensor, table_t: &Tensor, k: usize) -> Vec<Vec<Recommendation>> {
+    let scores = matmul(reprs, table_t);
+    let n = scores.shape()[1];
+    (0..scores.shape()[0])
+        .map(|r| top_k(&scores.data()[r * n..(r + 1) * n], k).expect("finite synthetic scores"))
+        .collect()
+}
+
+fn score_with_plan(
+    reprs: &Tensor,
+    table_t: &Tensor,
+    k: usize,
+    plan: &ShardPlan,
+) -> Vec<Vec<Recommendation>> {
+    let ks = vec![k; reprs.shape()[0]];
+    ist_serve::shard::score_sharded(reprs, table_t, &ks, plan)
+        .into_iter()
+        .map(|r| r.expect("finite synthetic scores"))
+        .collect()
+}
+
+fn main() {
+    if !ist_obs::enabled() {
+        ist_obs::set_mode(ist_obs::Mode::Summary);
+    }
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    let mut rng = SeedRng::seed(7);
+    let table_t = uniform(&[DIM, NUM_ITEMS], -0.5, 0.5, &mut rng);
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut push = |kernel: String, m: usize, shards: usize, ms: f64, iters: usize| {
+        rows.push(BenchRow {
+            kernel,
+            size: m,
+            threads: shards,
+            // Requests served per second: batch size over seconds per call.
+            gflops: m as f64 / (ms / 1e3),
+            ms_per_iter: ms,
+            warmup: WARMUP,
+            iters,
+        });
+    };
+
+    println!(
+        "{:<12} {:>5} {:>7} {:>12} {:>12} {:>7}",
+        "path", "batch", "shards", "req/s", "ms/iter", "iters"
+    );
+    for &m in &BATCHES {
+        let reprs = uniform(&[m, DIM], -1.0, 1.0, &mut rng);
+
+        let baseline = score_monolithic(&reprs, &table_t, K);
+        let crc = fingerprint(&baseline);
+        let (ms, iters) = time_ms(|| {
+            std::hint::black_box(score_monolithic(&reprs, &table_t, K));
+        });
+        push("monolithic".into(), m, 1, ms, iters);
+        println!(
+            "{:<12} {:>5} {:>7} {:>12.1} {:>12.3} {:>7}",
+            "monolithic",
+            m,
+            1,
+            m as f64 / (ms / 1e3),
+            ms,
+            iters
+        );
+
+        for &s in &SHARDS {
+            let plan = ShardPlan::new(NUM_ITEMS, s);
+            let sharded = score_with_plan(&reprs, &table_t, K, &plan);
+            assert_eq!(
+                fingerprint(&sharded),
+                crc,
+                "shard count {s} changed the batch-{m} ranking bits"
+            );
+            let (ms, iters) = time_ms(|| {
+                std::hint::black_box(score_with_plan(&reprs, &table_t, K, &plan));
+            });
+            push("sharded".into(), m, s, ms, iters);
+            println!(
+                "{:<12} {:>5} {:>7} {:>12.1} {:>12.3} {:>7}",
+                "sharded",
+                m,
+                s,
+                m as f64 / (ms / 1e3),
+                ms,
+                iters
+            );
+        }
+    }
+
+    // Hand-rolled JSON (no serde in the offline workspace). `size` carries
+    // the batch, `threads` the shard count, `gflops` requests/s.
+    let mut json = String::from("{\n  \"benchmark\": \"serve\",\n");
+    json.push_str(&format!(
+        "  \"catalog\": {{\"num_items\": {NUM_ITEMS}, \"dim\": {DIM}, \"k\": {K}}},\n"
+    ));
+    json.push_str("  \"fields\": {\"size\": \"batch\", \"threads\": \"shards\", \"gflops\": \"requests_per_s\"},\n");
+    json.push_str("  \"results\": [\n");
+    json.push_str(&rows_to_json(&rows));
+    json.push_str("  ],\n  \"obs\": [\n");
+    let snapshot = ist_obs::snapshot_json();
+    for (i, line) in snapshot.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(line);
+        json.push_str(if i + 1 < snapshot.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &json).expect("write BENCH_serve.json");
+    println!("\nwrote {out_path}");
+
+    // Headline for CI logs: best sharded configuration vs the monolithic
+    // path at each batch size. The sharded path must not lose.
+    for &m in &BATCHES {
+        let mono = rows
+            .iter()
+            .find(|r| r.kernel == "monolithic" && r.size == m)
+            .expect("monolithic row");
+        let best = rows
+            .iter()
+            .filter(|r| r.kernel == "sharded" && r.size == m)
+            .min_by(|a, b| a.ms_per_iter.total_cmp(&b.ms_per_iter))
+            .expect("sharded rows");
+        println!(
+            "batch {m}: monolithic {:.3} ms, sharded x{} {:.3} ms ({:.2}x)",
+            mono.ms_per_iter,
+            best.threads,
+            best.ms_per_iter,
+            mono.ms_per_iter / best.ms_per_iter.max(1e-9)
+        );
+    }
+}

@@ -329,12 +329,7 @@ mod tests {
         let logits = toy.out.forward(&ctx, &e);
         let last_row = logits.value();
         let row = &last_row.data()[(batch.len - 1) * vocab..batch.len * vocab];
-        let argmax = row
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let argmax = ist_tensor::order::try_argmax(row).expect("logits are finite");
         assert_eq!(argmax, 2);
     }
 

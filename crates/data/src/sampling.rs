@@ -6,6 +6,37 @@ use ist_tensor::pool;
 use ist_tensor::rng::SeedRng;
 use rand::Rng;
 
+/// Why a [`WeightedSampler`] could not be built: every variant was an
+/// `assert!` (process abort) before the constructor became fallible.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightedSamplerError {
+    /// No weights at all (`zipf(0, s)` lands here).
+    Empty,
+    /// A weight is negative, NaN, or infinite.
+    Invalid {
+        /// Offending position.
+        index: usize,
+        /// The weight found there.
+        weight: f64,
+    },
+    /// Every weight is zero: no distribution to draw from.
+    ZeroMass,
+}
+
+impl std::fmt::Display for WeightedSamplerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WeightedSamplerError::Empty => write!(f, "no weights given"),
+            WeightedSamplerError::Invalid { index, weight } => {
+                write!(f, "invalid weight {weight} at index {index}")
+            }
+            WeightedSamplerError::ZeroMass => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedSamplerError {}
+
 /// Cumulative-weight sampler over `0..n` (binary search on prefix sums).
 #[derive(Clone, Debug)]
 pub struct WeightedSampler {
@@ -13,35 +44,48 @@ pub struct WeightedSampler {
 }
 
 impl WeightedSampler {
-    /// Builds from non-negative weights (at least one must be positive).
-    pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty());
+    /// Builds from non-negative weights. Empty input, any negative or
+    /// non-finite weight, or an all-zero vector is a typed
+    /// [`WeightedSamplerError`] instead of a panic.
+    pub fn new(weights: &[f64]) -> Result<Self, WeightedSamplerError> {
+        if weights.is_empty() {
+            return Err(WeightedSamplerError::Empty);
+        }
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut acc = 0.0f64;
-        for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "invalid weight {w}");
+        for (index, &w) in weights.iter().enumerate() {
+            if !(w >= 0.0 && w.is_finite()) {
+                return Err(WeightedSamplerError::Invalid { index, weight: w });
+            }
             acc += w;
             cumulative.push(acc);
         }
-        assert!(acc > 0.0, "all weights are zero");
-        WeightedSampler { cumulative }
+        if acc <= 0.0 {
+            return Err(WeightedSamplerError::ZeroMass);
+        }
+        Ok(WeightedSampler { cumulative })
     }
 
     /// Zipf weights `1/(rank+1)^s` over `n` entries, applied to identity
     /// ranks (callers shuffle ids separately to decorrelate id and rank).
-    pub fn zipf(n: usize, s: f64) -> Self {
+    /// `n == 0` is [`WeightedSamplerError::Empty`] (formerly an assert).
+    pub fn zipf(n: usize, s: f64) -> Result<Self, WeightedSamplerError> {
         let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
         Self::new(&weights)
     }
 
     /// Draws one index.
+    ///
+    /// The comparator is `total_cmp`, which is panic-free. On every value
+    /// the constructor admits it agrees exactly with the historical
+    /// `partial_cmp(..).expect("finite")`: prefix sums are finite and
+    /// `+0.0`-or-positive (the accumulator starts at `+0.0` and adds
+    /// non-negative weights, so `-0.0` is unreachable), and `x ∈ [0,
+    /// total)` — pinned sampling streams are bit-identical.
     pub fn sample(&self, rng: &mut SeedRng) -> usize {
-        let total = *self.cumulative.last().expect("non-empty");
+        let total = self.cumulative[self.cumulative.len() - 1];
         let x = rng.gen_range(0.0..total);
-        match self
-            .cumulative
-            .binary_search_by(|c| c.partial_cmp(&x).expect("finite"))
-        {
+        match self.cumulative.binary_search_by(|c| c.total_cmp(&x)) {
             Ok(i) => i + 1,
             Err(i) => i,
         }
@@ -231,7 +275,7 @@ mod tests {
 
     #[test]
     fn weighted_sampler_matches_distribution() {
-        let s = WeightedSampler::new(&[1.0, 0.0, 3.0]);
+        let s = WeightedSampler::new(&[1.0, 0.0, 3.0]).unwrap();
         let mut rng = SeedRng::seed(1);
         let mut counts = [0usize; 3];
         for _ in 0..20_000 {
@@ -244,7 +288,7 @@ mod tests {
 
     #[test]
     fn zipf_is_head_heavy() {
-        let s = WeightedSampler::zipf(100, 1.0);
+        let s = WeightedSampler::zipf(100, 1.0).unwrap();
         let mut rng = SeedRng::seed(2);
         let mut head = 0usize;
         for _ in 0..10_000 {
@@ -254,6 +298,62 @@ mod tests {
         }
         // First 10 of 100 ranks carry ≈ H(10)/H(100) ≈ 56 % of the mass.
         assert!(head > 4_500, "head draws {head}");
+    }
+
+    #[test]
+    fn degenerate_weights_are_typed_errors_not_panics() {
+        assert_eq!(
+            WeightedSampler::new(&[]).unwrap_err(),
+            WeightedSamplerError::Empty
+        );
+        // `zipf(0, s)` used to abort on `assert!(!weights.is_empty())`.
+        assert_eq!(
+            WeightedSampler::zipf(0, 1.0).unwrap_err(),
+            WeightedSamplerError::Empty
+        );
+        assert_eq!(
+            WeightedSampler::new(&[0.0, 0.0]).unwrap_err(),
+            WeightedSamplerError::ZeroMass
+        );
+        match WeightedSampler::new(&[1.0, -2.0]).unwrap_err() {
+            WeightedSamplerError::Invalid { index, weight } => {
+                assert_eq!(index, 1);
+                assert_eq!(weight, -2.0);
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+        assert!(matches!(
+            WeightedSampler::new(&[f64::NAN]).unwrap_err(),
+            WeightedSamplerError::Invalid { index: 0, .. }
+        ));
+        assert!(matches!(
+            WeightedSampler::new(&[f64::INFINITY]).unwrap_err(),
+            WeightedSamplerError::Invalid { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn total_cmp_search_preserves_pinned_streams() {
+        // The binary search moved from partial_cmp().expect() to
+        // total_cmp; draws from a pinned seed must not move.
+        let s = WeightedSampler::new(&[2.0, 0.0, 1.0, 5.0]).unwrap();
+        let mut rng = SeedRng::seed(1);
+        let got: Vec<usize> = (0..16).map(|_| s.sample(&mut rng)).collect();
+
+        // Reference: the historical comparator, same seed.
+        let cumulative = [2.0f64, 2.0, 3.0, 8.0];
+        let mut reference_rng = SeedRng::seed(1);
+        let reference: Vec<usize> = (0..16)
+            .map(|_| {
+                let x = reference_rng.gen_range(0.0..8.0);
+                match cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("finite")) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                }
+                .min(cumulative.len() - 1)
+            })
+            .collect();
+        assert_eq!(got, reference);
     }
 
     #[test]

@@ -255,7 +255,8 @@ impl IntentWorld {
             .iter()
             .map(|&r| 1.0 / ((r + 1) as f64).powf(cfg.zipf_s))
             .collect();
-        let pop_sampler = WeightedSampler::new(&weights);
+        let pop_sampler = WeightedSampler::new(&weights)
+            .expect("zipf popularity weights are positive and finite by construction");
 
         // Inverted index concept → items carrying it (latently).
         let mut items_with: Vec<Vec<usize>> = vec![Vec::new(); cfg.num_concepts];

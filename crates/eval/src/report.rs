@@ -17,7 +17,10 @@ fn fmt_val(v: f64) -> String {
 /// equivalents of the paper's bold/underline), plus the relative
 /// improvement of the last column over the best other column.
 pub fn render_table2_block(dataset: &str, cells: &[CellResult]) -> String {
-    assert!(!cells.is_empty());
+    if cells.is_empty() {
+        // Nothing ran: an empty block, not a panic.
+        return format!("### {dataset}\n\n_(no results)_\n");
+    }
     let mut out = format!("### {dataset}\n\n| Metric |");
     for c in cells {
         out.push_str(&format!(" {} |", c.model));
@@ -56,16 +59,23 @@ pub fn render_table2_block(dataset: &str, cells: &[CellResult]) -> String {
             }
         }
         // Relative improvement of the last column (ISRec) over the best of
-        // the others — the paper's "Improv." column.
-        let last = *vals.last().expect("non-empty");
-        let best_other = vals[..vals.len() - 1]
+        // the others — the paper's "Improv." column. A metric row can be
+        // empty (single-model run) and a baseline's best can legitimately
+        // be negative; both render `-` like the NaN cells above rather
+        // than panicking or claiming `n/a`. Only a zero baseline has no
+        // defined relative improvement.
+        let last = vals.last().copied().unwrap_or(f64::NAN);
+        let best_other = vals[..vals.len().saturating_sub(1)]
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        if last.is_finite() && best_other > 0.0 {
-            out.push_str(&format!(" {:+.2}% |\n", (last / best_other - 1.0) * 100.0));
+        if last.is_finite() && best_other.is_finite() && best_other != 0.0 {
+            out.push_str(&format!(
+                " {:+.2}% |\n",
+                (last - best_other) / best_other.abs() * 100.0
+            ));
         } else {
-            out.push_str(" n/a |\n");
+            out.push_str(" - |\n");
         }
     }
     out
@@ -143,6 +153,32 @@ mod tests {
         assert!(s.contains("_0.3000_"), "{s}");
         assert!(s.contains("+20.00%"), "{s}");
         assert!(s.contains("| Metric | A | B | ISRec | Improv. |"));
+    }
+
+    #[test]
+    fn negative_baselines_get_a_real_improvement_cell() {
+        // A legitimately negative best-other must not collapse to "n/a":
+        // -0.1 → -0.05 is a +50% improvement relative to |baseline|.
+        let cells = vec![cell("A", -0.3), cell("B", -0.1), cell("ISRec", -0.05)];
+        let s = render_table2_block("neg", &cells);
+        assert!(s.contains("+50.00%"), "{s}");
+        assert!(!s.contains("n/a"), "{s}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_blocks_render_dashes_not_panics() {
+        let s = render_table2_block("empty", &[]);
+        assert!(s.contains("no results"), "{s}");
+        // Single-model block: no "other" columns → no improvement defined.
+        let s = render_table2_block("solo", &[cell("ISRec", 0.3)]);
+        assert!(s.contains(" - |"), "{s}");
+        assert!(!s.contains("n/a"), "{s}");
+        // All-NaN last column renders `-` in the Improv. cell too.
+        let mut failed = cell("ISRec", 0.0);
+        failed.metrics = MetricSet::nan();
+        failed.error = Some("boom".into());
+        let s = render_table2_block("failed-last", &[cell("A", 0.2), failed]);
+        assert!(!s.contains("n/a"), "{s}");
     }
 
     #[test]

@@ -27,14 +27,13 @@ use std::time::{Duration, Instant};
 use isrec_core::{snapshot, CheckpointManager, Isrec, IsrecConfig};
 use ist_data::SequentialDataset;
 use ist_nn::Module as _;
-use ist_tensor::matmul::matmul;
 use ist_tensor::Tensor;
 
 use crate::cache::ReprCache;
 use crate::error::ServeError;
 use crate::fallback::FallbackRanker;
 use crate::resilience::{BatchFault, ServeFaultPlan};
-use crate::topk::top_k;
+use crate::shard::{resolve_shards, score_sharded, ShardPlan};
 
 /// End-to-end request latency (enqueue → response), microseconds; the
 /// summary table renders its p50/p95/p99.
@@ -114,6 +113,11 @@ pub struct ServeConfig {
     /// Injected fault schedule. `None` reads `IST_SERVE_FAULTS` at
     /// [`ScoreEngine::start`]; tests pass an explicit plan.
     pub faults: Option<ServeFaultPlan>,
+    /// Catalog-scoring shard count (`IST_SERVE_SHARDS`). `0` (the
+    /// default) means auto: one shard per `ist_tensor` pool worker.
+    /// Counts above the catalog size clamp to one item per shard.
+    /// Scores and ranking are bitwise identical for every value.
+    pub shards: usize,
 }
 
 impl Default for ServeConfig {
@@ -126,6 +130,7 @@ impl Default for ServeConfig {
             queue_cap: 1024,
             max_respawns: 3,
             faults: None,
+            shards: 0,
         }
     }
 }
@@ -145,8 +150,9 @@ fn env_u64(name: &str, default: u64) -> u64 {
 
 impl ServeConfig {
     /// Reads `IST_SERVE_BATCH`, `IST_SERVE_BATCH_TIMEOUT_US`,
-    /// `IST_SERVE_CACHE`, `IST_SERVE_DEADLINE_MS`, `IST_SERVE_QUEUE` and
-    /// `IST_SERVE_MAX_RESPAWNS`, falling back to the defaults above.
+    /// `IST_SERVE_CACHE`, `IST_SERVE_DEADLINE_MS`, `IST_SERVE_QUEUE`,
+    /// `IST_SERVE_MAX_RESPAWNS` and `IST_SERVE_SHARDS`, falling back to
+    /// the defaults above.
     pub fn from_env() -> Self {
         let d = ServeConfig::default();
         let deadline_ms = env_u64("IST_SERVE_DEADLINE_MS", 0);
@@ -161,6 +167,7 @@ impl ServeConfig {
             queue_cap: env_u64("IST_SERVE_QUEUE", d.queue_cap as u64) as usize,
             max_respawns: env_u64("IST_SERVE_MAX_RESPAWNS", d.max_respawns as u64) as u32,
             faults: None,
+            shards: env_u64("IST_SERVE_SHARDS", d.shards as u64) as usize,
         }
     }
 }
@@ -215,6 +222,9 @@ pub struct EngineStats {
     pub reload_skipped: u64,
     /// True while the engine is serving fallback answers.
     pub degraded: bool,
+    /// Catalog-scoring shards in effect (0 until the scorer builds its
+    /// plan; the auto setting resolves to the pool size here).
+    pub shards: u64,
 }
 
 impl EngineStats {
@@ -359,6 +369,8 @@ struct Shared {
     degraded_served: AtomicU64,
     reload_skipped: AtomicU64,
     degraded: AtomicBool,
+    /// Shard count the scorer's current plan resolved to (0 pre-build).
+    shards: AtomicU64,
     /// Admission sequence numbers (shed/expiry tiebreaker).
     seq: AtomicU64,
     /// Catalog size, for request validation off the scorer thread.
@@ -396,6 +408,7 @@ impl Shared {
             degraded_served: AtomicU64::new(0),
             reload_skipped: AtomicU64::new(0),
             degraded: AtomicBool::new(false),
+            shards: AtomicU64::new(0),
             seq: AtomicU64::new(0),
             num_items,
             fallback,
@@ -566,6 +579,7 @@ impl ScoreEngine {
             degraded_served: self.shared.degraded_served.load(Ordering::Relaxed),
             reload_skipped: self.shared.reload_skipped.load(Ordering::Relaxed),
             degraded: self.shared.degraded.load(Ordering::Relaxed),
+            shards: self.shared.shards.load(Ordering::Relaxed),
         }
     }
 
@@ -1063,6 +1077,12 @@ fn scorer_incarnation(
         shared.epoch.store(e, Ordering::Relaxed);
     }
     let mut table_t = model.output_item_table_t();
+    // Shard bounds over the table's columns; the table itself is viewed in
+    // place by `gemm_cols`, never copied per shard.
+    let mut plan = ShardPlan::new(table_t.shape()[1], resolve_shards(cfg.shards));
+    shared
+        .shards
+        .store(plan.num_shards() as u64, Ordering::Relaxed);
     let mut cache = ReprCache::new(cfg.cache_entries);
     let _ = ready_tx.send(Ok(()));
 
@@ -1071,7 +1091,16 @@ fn scorer_incarnation(
             Work::Quit => return Exit::Shutdown,
             Work::Reload(slot) => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    reload_model(spec, &model, &mut epoch, &mut table_t, &mut cache, shared)
+                    reload_model(
+                        spec,
+                        cfg,
+                        &model,
+                        &mut epoch,
+                        &mut table_t,
+                        &mut plan,
+                        &mut cache,
+                        shared,
+                    )
                 }));
                 match outcome {
                     Ok(result) => {
@@ -1094,7 +1123,7 @@ fn scorer_incarnation(
             }
             Work::Batch(batch) => {
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    process_batch(&model, &table_t, &mut cache, shared, &batch)
+                    process_batch(&model, &table_t, &plan, &mut cache, shared, &batch)
                 }));
                 if let Err(payload) = outcome {
                     // Fail only the poisoned batch: each of its requests
@@ -1113,26 +1142,37 @@ fn scorer_incarnation(
 
 /// Applies a reload request. The scorer is single-threaded, so swapping the
 /// weights + table between batches is atomic from every caller's view.
+/// The shard plan is re-sliced over the fresh table — bounds only, the
+/// table data is never duplicated per shard.
+#[allow(clippy::too_many_arguments)]
 fn reload_model(
     spec: &ModelSpec,
+    cfg: &ServeConfig,
     model: &Isrec,
     epoch: &mut Option<u64>,
     table_t: &mut Tensor,
+    plan: &mut ShardPlan,
     cache: &mut ReprCache,
     shared: &Shared,
 ) -> Result<Option<u64>, String> {
+    let mut swap_table = |table_t: &mut Tensor, plan: &mut ShardPlan| {
+        *table_t = model.output_item_table_t();
+        *plan = ShardPlan::new(table_t.shape()[1], resolve_shards(cfg.shards));
+        shared
+            .shards
+            .store(plan.num_shards() as u64, Ordering::Relaxed);
+        cache.clear();
+    };
     match load_weights(model, &spec.source, *epoch, shared)? {
         Some(new_epoch) => {
             *epoch = Some(new_epoch);
-            *table_t = model.output_item_table_t();
-            cache.clear();
+            swap_table(table_t, plan);
             Ok(Some(new_epoch))
         }
         None => match &spec.source {
             // Snapshot reload always re-applies the (validated) file.
             ModelSource::Snapshot(_) => {
-                *table_t = model.output_item_table_t();
-                cache.clear();
+                swap_table(table_t, plan);
                 Ok(None)
             }
             ModelSource::CheckpointDir(_) => Ok(None),
@@ -1157,6 +1197,7 @@ fn take_batch_fault(shared: &Shared) -> Option<BatchFault> {
 fn process_batch(
     model: &Isrec,
     table_t: &Tensor,
+    plan: &ShardPlan,
     cache: &mut ReprCache,
     shared: &Shared,
     batch: &[ScoreReq],
@@ -1175,7 +1216,6 @@ fn process_batch(
 
     let m = batch.len();
     let d = table_t.shape()[0];
-    let num_items = table_t.shape()[1];
     let max_len = model.max_len();
     let mut span = ist_obs::Span::enter("serve.batch");
     span.add_field("size", m);
@@ -1224,9 +1264,13 @@ fn process_batch(
     shared.cache_hits.store(hits, Ordering::Relaxed);
     shared.cache_misses.store(misses, Ordering::Relaxed);
 
-    // One GEMM scores the whole batch; each output row depends only on its
-    // own representation row, so results are independent of batch makeup.
-    // A row that failed to resolve fails only its own request.
+    // Catalog scoring runs shard by shard (see [`crate::shard`]): each
+    // column block of the item table is one GEMM + bounded-heap top-K
+    // while the block's scores are cache-hot, and the per-shard lists
+    // merge under the same rank order a single global heap would use —
+    // scores and ranking are bitwise independent of the shard count, the
+    // batch makeup, and the pool size. A row that failed to resolve fails
+    // only its own request.
     let mut resolved: Vec<usize> = Vec::with_capacity(m);
     let mut stacked: Vec<f32> = Vec::with_capacity(m * d);
     for (i, (row, req)) in rows.iter().zip(batch).enumerate() {
@@ -1243,13 +1287,14 @@ fn process_batch(
     if resolved.is_empty() {
         return;
     }
-    let scores = matmul(&Tensor::from_vec(stacked, &[resolved.len(), d]), table_t);
+    let ks: Vec<usize> = resolved.iter().map(|&i| batch[i].k).collect();
+    let reprs = Tensor::from_vec(stacked, &[resolved.len(), d]);
+    let ranked = score_sharded(&reprs, table_t, &ks, plan);
 
-    for (j, &i) in resolved.iter().enumerate() {
-        let row = &scores.data()[j * num_items..(j + 1) * num_items];
+    for (&i, items) in resolved.iter().zip(ranked) {
         let req = &batch[i];
         req.slot.fill(
-            top_k(row, req.k)
+            items
                 .map(|items| ServeResponse {
                     items,
                     degraded: false,

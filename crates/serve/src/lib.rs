@@ -26,6 +26,13 @@
 //!   LRU ([`ReprCache`], capacity `IST_SERVE_CACHE`). Hits skip the
 //!   encoder entirely and re-score via the same GEMM as misses, so a
 //!   cached answer is bitwise identical to a cold one.
+//! * **Sharded scoring** — the transposed item table is partitioned into
+//!   `IST_SERVE_SHARDS` column blocks (default: one per pool worker);
+//!   each shard is one column-view GEMM + bounded-heap top-K while its
+//!   scores are cache-hot, fanned out on the `ist_tensor` pool, and the
+//!   per-shard lists merge under the heap's own rank order ([`shard`]).
+//!   Scores and ranking are **bitwise identical for every shard count**
+//!   — a guarantee the CI serve stage enforces via `scores_crc`.
 //! * **Top-K retrieval** — scores against the full catalog are reduced by
 //!   a bounded binary heap ([`top_k`]): `O(n log k)`, no full sort, NaN
 //!   scores rejected, ties broken toward the smaller item id.
@@ -72,6 +79,7 @@ pub mod engine;
 pub mod error;
 pub mod fallback;
 pub mod resilience;
+pub mod shard;
 pub mod topk;
 
 pub use cache::ReprCache;
@@ -81,4 +89,5 @@ pub use engine::{
 pub use error::ServeError;
 pub use fallback::FallbackRanker;
 pub use resilience::{BatchFault, ServeFaultPlan};
-pub use topk::top_k;
+pub use shard::{shard_latency, ShardPlan};
+pub use topk::{merge_top_k, top_k, top_k_range};

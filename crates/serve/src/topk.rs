@@ -1,9 +1,24 @@
-//! Bounded binary-heap top-K over a full-catalog score vector.
+//! Bounded binary-heap top-K over a full-catalog score vector, plus the
+//! shard-aware variants ([`top_k_range`], [`merge_top_k`]) used by the
+//! column-sharded scoring path. All three share one descending rank
+//! comparator, so per-shard heaps merged across shards reproduce the
+//! single-heap global ranking exactly (including ties).
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::engine::Recommendation;
+
+/// Descending rank order on `(score, item)`: higher score first, ties rank
+/// the smaller item id first. Never panics — scores are checked finite
+/// before they reach ranking, and a hypothetical NaN collapses to
+/// `Equal` + id tie-break instead of poisoning an `unwrap`.
+pub fn rank_desc(a_score: f32, a_item: usize, b_score: f32, b_item: usize) -> Ordering {
+    b_score
+        .partial_cmp(&a_score)
+        .unwrap_or(Ordering::Equal)
+        .then(a_item.cmp(&b_item))
+}
 
 /// Heap entry ordered so the binary max-heap keeps the *worst* kept item at
 /// the root: `greater` means lower score, or equal score with a larger item
@@ -24,13 +39,7 @@ impl PartialOrd for Worst {
 
 impl Ord for Worst {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Scores are checked finite before insertion, so partial_cmp is
-        // total here.
-        other
-            .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
-            .then(self.item.cmp(&other.item))
+        rank_desc(self.score, self.item, other.score, other.item)
     }
 }
 
@@ -42,12 +51,21 @@ impl Ord for Worst {
 /// `O(n log k)` time, `O(k)` space: items beat the current worst kept
 /// entry or are dropped immediately.
 pub fn top_k(scores: &[f32], k: usize) -> Result<Vec<Recommendation>, String> {
+    top_k_range(scores, 0, k)
+}
+
+/// [`top_k`] over a score slice whose index 0 corresponds to item id
+/// `base`: the sharded scoring path scores column block
+/// `[base, base + scores.len())` of the catalog into a dense buffer and
+/// ranks it without re-indexing a full-width vector.
+pub fn top_k_range(scores: &[f32], base: usize, k: usize) -> Result<Vec<Recommendation>, String> {
     let k = k.min(scores.len());
     if k == 0 {
         return Ok(Vec::new());
     }
     let mut heap: BinaryHeap<Worst> = BinaryHeap::with_capacity(k + 1);
-    for (item, &score) in scores.iter().enumerate() {
+    for (off, &score) in scores.iter().enumerate() {
+        let item = base + off;
         if !score.is_finite() {
             return Err(format!("non-finite score {score} for item {item}"));
         }
@@ -73,6 +91,47 @@ pub fn top_k(scores: &[f32], k: usize) -> Result<Vec<Recommendation>, String> {
         .collect())
 }
 
+/// Merge per-shard top-K lists (each already best-first per [`rank_desc`])
+/// into the global best-`k`, preserving the exact ordering a single
+/// unsharded [`top_k`] would produce. Shards cover disjoint item ranges, so
+/// a k-way front-merge by the shared comparator is sufficient: at every
+/// step the globally next-best candidate is one of the shard fronts.
+pub fn merge_top_k(lists: &[Vec<Recommendation>], k: usize) -> Vec<Recommendation> {
+    let total: usize = lists.iter().map(|l| l.len()).sum();
+    let k = k.min(total);
+    let mut out = Vec::with_capacity(k);
+    let mut cursors = vec![0usize; lists.len()];
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for (li, list) in lists.iter().enumerate() {
+            let ci = cursors[li];
+            if ci >= list.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(li),
+                Some(b) => {
+                    let cand = &list[ci];
+                    let cur = &lists[b][cursors[b]];
+                    if rank_desc(cand.score, cand.item, cur.score, cur.item) == Ordering::Less {
+                        Some(li)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(li) => {
+                out.push(lists[li][cursors[li]]);
+                cursors[li] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +141,20 @@ mod tests {
         all.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
         all.truncate(k);
         all
+    }
+
+    fn sharded(scores: &[f32], shards: usize, k: usize) -> Vec<Recommendation> {
+        let n = scores.len();
+        let s = shards.clamp(1, n.max(1));
+        let (w, rem) = (n / s, n % s);
+        let mut lists = Vec::with_capacity(s);
+        let mut base = 0usize;
+        for si in 0..s {
+            let width = w + usize::from(si < rem);
+            lists.push(top_k_range(&scores[base..base + width], base, k).unwrap());
+            base += width;
+        }
+        merge_top_k(&lists, k)
     }
 
     #[test]
@@ -117,5 +190,42 @@ mod tests {
         assert!(top_k(&[1.0, f32::NAN, 2.0], 2).is_err());
         assert!(top_k(&[1.0, f32::INFINITY], 1).is_err());
         assert!(top_k(&[f32::NEG_INFINITY], 1).is_err());
+    }
+
+    #[test]
+    fn range_offsets_item_ids() {
+        let got = top_k_range(&[1.0, 5.0, 3.0], 100, 2).unwrap();
+        assert_eq!(got[0].item, 101);
+        assert_eq!(got[1].item, 102);
+    }
+
+    #[test]
+    fn merge_reproduces_unsharded_ranking() {
+        let scores = [0.5, -1.0, 3.0, 3.0, 2.0, 0.0, 3.0, -0.5];
+        for shards in [1usize, 2, 3, 5, 8, 13] {
+            for k in [0usize, 1, 3, 8, 20] {
+                let want = top_k(&scores, k).unwrap();
+                let got = sharded(&scores, shards, k);
+                assert_eq!(
+                    got.iter()
+                        .map(|r| (r.item, r.score.to_bits()))
+                        .collect::<Vec<_>>(),
+                    want.iter()
+                        .map(|r| (r.item, r.score.to_bits()))
+                        .collect::<Vec<_>>(),
+                    "shards={shards} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merge_of_all_duplicate_scores_orders_by_id() {
+        let scores = [7.0; 9];
+        let got = sharded(&scores, 4, 5);
+        assert_eq!(
+            got.iter().map(|r| r.item).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
     }
 }

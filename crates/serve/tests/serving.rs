@@ -7,7 +7,10 @@ use std::sync::Barrier;
 use isrec_core::{snapshot, CheckpointManager, FaultPlan, Isrec, IsrecConfig};
 use ist_data::{IntentWorld, SequentialDataset, WorldConfig};
 use ist_nn::Module as _;
-use ist_serve::{top_k, ModelSource, ModelSpec, Recommendation, ScoreEngine, ServeConfig};
+use ist_serve::{
+    merge_top_k, top_k, top_k_range, ModelSource, ModelSpec, Recommendation, ScoreEngine,
+    ServeConfig, ShardPlan,
+};
 use proptest::prelude::*;
 
 fn tiny_dataset() -> SequentialDataset {
@@ -122,6 +125,59 @@ fn batched_scores_are_bitwise_identical_to_unbatched() {
         "micro-batcher never coalesced: {stats:?}"
     );
     assert_eq!(stats.requests, hists.len() as u64);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The serve CI gate's cross-shard CRC identity, in-process: every
+/// (shards, max_batch) combination must produce bitwise-identical
+/// rankings. Shard counts are set via `ServeConfig` fields, not env vars
+/// — tests run in parallel and the engine reads config once at start.
+#[test]
+fn shard_count_does_not_change_scores() {
+    let dir = tmpdir("shard-invariance");
+    let ds = tiny_dataset();
+    let hists = histories(&ds, 8);
+
+    let mut fingerprints: Vec<(usize, usize, Vec<Vec<Recommendation>>)> = Vec::new();
+    for shards in [1usize, 4] {
+        for max_batch in [1usize, 32] {
+            let engine = ScoreEngine::start(
+                snapshot_spec(&dir, 7),
+                ServeConfig {
+                    shards,
+                    max_batch,
+                    batch_timeout: std::time::Duration::ZERO,
+                    cache_entries: 0,
+                    ..ServeConfig::default()
+                },
+            )
+            .unwrap();
+            let got: Vec<Vec<Recommendation>> = hists
+                .iter()
+                .map(|h| engine.recommend(h, 10).unwrap().items)
+                .collect();
+            assert_eq!(engine.stats().shards, shards as u64);
+            fingerprints.push((shards, max_batch, got));
+        }
+    }
+
+    let (_, _, want) = &fingerprints[0];
+    for (shards, max_batch, got) in &fingerprints[1..] {
+        for (i, (want_row, got_row)) in want.iter().zip(got).enumerate() {
+            assert_eq!(want_row.len(), got_row.len());
+            for (w, g) in want_row.iter().zip(got_row) {
+                assert_eq!(
+                    w.item, g.item,
+                    "shards={shards} batch={max_batch} request {i}: item order differs"
+                );
+                assert_eq!(
+                    w.score.to_bits(),
+                    g.score.to_bits(),
+                    "shards={shards} batch={max_batch} request {i}: scores differ"
+                );
+            }
+        }
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -266,6 +322,36 @@ proptest! {
         for (g, (item, score)) in got.iter().zip(&all) {
             prop_assert_eq!(g.item, *item);
             prop_assert_eq!(g.score.to_bits(), score.to_bits());
+        }
+    }
+
+    #[test]
+    fn sharded_top_k_equals_unsharded(
+        scores in prop::collection::vec(-100.0f32..100.0, 1..300),
+        k in 0usize..400, // regularly exceeds the catalog
+        which in 0usize..4,
+    ) {
+        // Duplicate scores so the cross-shard tie-break is exercised.
+        let mut scores = scores;
+        let n = scores.len();
+        if n >= 4 {
+            scores[n - 1] = scores[0];
+            scores[n / 2] = scores[0];
+        }
+        // Shard counts from the issue's checklist: trivial, small, the
+        // pool default, and more shards than items.
+        let shards = [1, 3, ist_tensor::pool::global().threads(), n + 1][which];
+        let unsharded = top_k(&scores, k).unwrap();
+        let lists: Vec<Vec<Recommendation>> = ShardPlan::new(n, shards)
+            .bounds()
+            .iter()
+            .map(|&(b0, b1)| top_k_range(&scores[b0..b1], b0, k).unwrap())
+            .collect();
+        let merged = merge_top_k(&lists, k);
+        prop_assert_eq!(merged.len(), unsharded.len());
+        for (m, u) in merged.iter().zip(&unsharded) {
+            prop_assert_eq!(m.item, u.item);
+            prop_assert_eq!(m.score.to_bits(), u.score.to_bits());
         }
     }
 

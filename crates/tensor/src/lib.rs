@@ -13,6 +13,7 @@
 //! * cache-blocked 2-D matrix multiplication and batched 3-D `bmm`,
 //!   parallelised over a shared persistent worker pool ([`matmul`], [`pool`]),
 //! * reductions, softmax/log-softmax, norms and argmax ([`reduce`]),
+//! * NaN-safe total-order comparison helpers for score ranking ([`order`]),
 //! * row gather/scatter used for embedding lookups ([`tensor`]),
 //! * seeded random constructors ([`rng`]).
 //!
@@ -27,6 +28,7 @@
 pub mod matmul;
 pub mod mem;
 pub mod ops;
+pub mod order;
 pub mod pool;
 pub mod reduce;
 pub mod rng;

@@ -74,8 +74,58 @@ pub fn gemm_serial(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
 /// same as [`gemm_serial`], so blocked and unblocked kernels agree to
 /// floating-point rounding (≤ 1e-4 relative at this workspace's scales).
 pub fn gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
-    debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
+    gemm_blocked_view(a, b, n, 0, out, m, k, n);
+}
+
+/// Cache-blocked GEMM over a *column block* of `b`:
+/// `out[m×ncols] += a[m×k] · b[:, col0 .. col0+ncols]`, where `b` is the
+/// full row-major `k×n_full` matrix. Nothing is copied out of `b` beyond
+/// the panel packing every GEMM already does, so callers can score
+/// disjoint column shards of one shared table concurrently.
+///
+/// Bitwise contract: for every output element, the k-accumulation order
+/// (KC panels ascending, depth ascending within a panel) and the zero-row
+/// skip depend only on `a` and `k` — never on which columns are being
+/// computed — so `out[i][j]` is bit-identical to column `col0 + j` of the
+/// full [`gemm_blocked`] product. The serving layer's cross-shard CRC
+/// identity rests on this.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_cols(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n_full: usize,
+    col0: usize,
+    ncols: usize,
+) {
+    debug_assert_eq!(b.len(), k * n_full);
+    assert!(
+        col0 + ncols <= n_full,
+        "column block {col0}..{} exceeds table width {n_full}",
+        col0 + ncols
+    );
+    gemm_blocked_view(a, b, n_full, col0, out, m, k, ncols);
+}
+
+/// Shared body of [`gemm_blocked`] and [`gemm_cols`]: `b`'s element
+/// `(p, j)` is read at `b[p·b_stride + b_col0 + j]`, the output is a dense
+/// `m×n` block. The micro-kernel is untouched — only panel packing knows
+/// about the stride.
+#[allow(clippy::too_many_arguments)]
+fn gemm_blocked_view(
+    a: &[f32],
+    b: &[f32],
+    b_stride: usize,
+    b_col0: usize,
+    out: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 || k == 0 {
         return;
@@ -100,14 +150,14 @@ pub fn gemm_blocked(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n
             for jb in 0..nblocks {
                 let dst = &mut panel[jb * kc * NR..(jb + 1) * kc * NR];
                 for p in 0..kc {
-                    let col = (kk + p) * n + jj + jb * NR;
+                    let col = (kk + p) * b_stride + b_col0 + jj + jb * NR;
                     dst[p * NR..(p + 1) * NR].copy_from_slice(&b[col..col + NR]);
                 }
             }
             if tail > 0 {
                 let dst = &mut panel[nblocks * kc * NR..];
                 for p in 0..kc {
-                    let col = (kk + p) * n + jj + nblocks * NR;
+                    let col = (kk + p) * b_stride + b_col0 + jj + nblocks * NR;
                     dst[p * tail..(p + 1) * tail].copy_from_slice(&b[col..col + tail]);
                 }
             }
@@ -434,5 +484,65 @@ mod tests {
     #[should_panic(expected = "inner dims disagree")]
     fn dimension_mismatch_panics() {
         matmul(&Tensor::zeros(&[2, 3]), &Tensor::zeros(&[4, 2]));
+    }
+
+    /// Column-block GEMM must reproduce the full product's columns bit for
+    /// bit — the serving layer's cross-shard CRC identity depends on it.
+    #[test]
+    fn gemm_cols_matches_full_gemm_bitwise() {
+        let mut rng = SeedRng::seed(17);
+        let (m, k, n) = (5, 48, 203); // n not a multiple of NC or NR
+        let a = uniform(&[m, k], -1.0, 1.0, &mut rng);
+        let b = uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let mut full = vec![0.0f32; m * n];
+        gemm_blocked(a.data(), b.data(), &mut full, m, k, n);
+
+        // Uneven split covering NC-boundary-crossing and 1-wide blocks.
+        for &(col0, ncols) in &[(0usize, 70usize), (70, 1), (71, 64), (135, 68)] {
+            let mut block = vec![0.0f32; m * ncols];
+            gemm_cols(a.data(), b.data(), &mut block, m, k, n, col0, ncols);
+            for i in 0..m {
+                for j in 0..ncols {
+                    assert_eq!(
+                        block[i * ncols + j].to_bits(),
+                        full[i * n + col0 + j].to_bits(),
+                        "col block ({col0},{ncols}) diverged at ({i},{j})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Zero-row skipping depends only on `a`, so it must behave identically
+    /// under column restriction (padded positions are common in serving).
+    #[test]
+    fn gemm_cols_bitwise_with_zero_rows() {
+        let mut rng = SeedRng::seed(19);
+        let (m, k, n) = (4, 32, 100);
+        let mut a = uniform(&[m, k], -1.0, 1.0, &mut rng).data().to_vec();
+        a[k..2 * k].fill(0.0); // one all-zero row
+        let b = uniform(&[k, n], -1.0, 1.0, &mut rng);
+        let mut full = vec![0.0f32; m * n];
+        gemm_blocked(&a, b.data(), &mut full, m, k, n);
+        let (col0, ncols) = (33, 45);
+        let mut block = vec![0.0f32; m * ncols];
+        gemm_cols(&a, b.data(), &mut block, m, k, n, col0, ncols);
+        for i in 0..m {
+            for j in 0..ncols {
+                assert_eq!(
+                    block[i * ncols + j].to_bits(),
+                    full[i * n + col0 + j].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds table width")]
+    fn gemm_cols_out_of_range_panics() {
+        let a = vec![0.0f32; 2 * 3];
+        let b = vec![0.0f32; 3 * 4];
+        let mut out = vec![0.0f32; 2 * 2];
+        gemm_cols(&a, &b, &mut out, 2, 3, 4, 3, 2);
     }
 }

@@ -1,0 +1,128 @@
+//! Total-order comparison helpers for score ranking.
+//!
+//! Every ranking path in the workspace — argmax over metric curves,
+//! top-K heaps, sorted shortlists — needs to compare `f32` scores, and
+//! `partial_cmp(..).unwrap()` turns a single NaN into a process panic.
+//! These helpers centralise the two sanctioned behaviours instead:
+//! reject NaN with a typed error ([`try_argmax`]), or order it
+//! deterministically behind every finite value ([`nan_last_desc`],
+//! [`argmax_finite`]). No caller should unwrap a `partial_cmp` on a
+//! score again.
+
+use std::cmp::Ordering;
+
+/// Index of the maximum value, rejecting degenerate input.
+///
+/// Returns `Err` when `xs` is empty or contains any non-finite value
+/// (NaN or ±∞) — the conditions under which a naive
+/// `max_by(partial_cmp().unwrap())` would panic or silently misrank.
+/// Ties resolve to the smallest index, so results are deterministic.
+pub fn try_argmax(xs: &[f32]) -> Result<usize, String> {
+    if xs.is_empty() {
+        return Err("argmax over empty slice".to_string());
+    }
+    let mut best = 0usize;
+    for (i, &x) in xs.iter().enumerate() {
+        if !x.is_finite() {
+            return Err(format!("argmax input at index {i} is non-finite ({x})"));
+        }
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Ok(best)
+}
+
+/// Index of the maximum *finite* value, skipping NaN/±∞ entries.
+///
+/// `None` when no finite value exists (empty slice or all non-finite).
+/// Ties resolve to the smallest index. Use this where a deterministic
+/// skip is preferable to failing the whole operation.
+pub fn argmax_finite(xs: &[f32]) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for (i, &x) in xs.iter().enumerate() {
+        if !x.is_finite() {
+            continue;
+        }
+        match best {
+            None => best = Some(i),
+            Some(b) if x > xs[b] => best = Some(i),
+            _ => {}
+        }
+    }
+    best
+}
+
+/// Descending total order with NaN sorted last: finite (and infinite)
+/// values rank by magnitude descending, every NaN compares behind them,
+/// and two NaNs are equal. Never panics.
+///
+/// The finite arm uses [`f32::total_cmp`], which differs from IEEE
+/// `partial_cmp` only on `-0.0` vs `+0.0`; callers on ranking paths
+/// compare GEMM/softmax outputs where `-0.0` is unreachable, so swapping
+/// this in preserves historical orderings bit for bit.
+pub fn nan_last_desc(x: f32, y: f32) -> Ordering {
+    match (x.is_nan(), y.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => y.total_cmp(&x),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_argmax_basic_and_ties() {
+        assert_eq!(try_argmax(&[1.0, 3.0, 2.0]).unwrap(), 1);
+        // Ties resolve to the smallest index.
+        assert_eq!(try_argmax(&[5.0, 5.0, 1.0]).unwrap(), 0);
+        assert_eq!(try_argmax(&[-2.0, -1.0]).unwrap(), 1);
+    }
+
+    #[test]
+    fn try_argmax_rejects_degenerate() {
+        assert!(try_argmax(&[]).is_err());
+        assert!(try_argmax(&[1.0, f32::NAN]).is_err());
+        assert!(try_argmax(&[f32::INFINITY]).is_err());
+        let err = try_argmax(&[0.0, f32::NAN, 2.0]).unwrap_err();
+        assert!(
+            err.contains("index 1"),
+            "error should locate the NaN: {err}"
+        );
+    }
+
+    #[test]
+    fn argmax_finite_skips_non_finite() {
+        assert_eq!(argmax_finite(&[f32::NAN, 2.0, 1.0]), Some(1));
+        assert_eq!(argmax_finite(&[f32::INFINITY, 3.0]), Some(1));
+        assert_eq!(argmax_finite(&[f32::NAN, f32::NAN]), None);
+        assert_eq!(argmax_finite(&[]), None);
+        assert_eq!(argmax_finite(&[4.0, 4.0]), Some(0));
+    }
+
+    #[test]
+    fn nan_last_desc_total_order() {
+        assert_eq!(nan_last_desc(2.0, 1.0), Ordering::Less); // 2.0 ranks first
+        assert_eq!(nan_last_desc(1.0, 2.0), Ordering::Greater);
+        assert_eq!(nan_last_desc(1.0, 1.0), Ordering::Equal);
+        assert_eq!(nan_last_desc(f32::NAN, -1e30), Ordering::Greater);
+        assert_eq!(nan_last_desc(-1e30, f32::NAN), Ordering::Less);
+        assert_eq!(nan_last_desc(f32::NAN, f32::NAN), Ordering::Equal);
+        // Infinities rank by value like any other number.
+        assert_eq!(nan_last_desc(f32::INFINITY, 1.0), Ordering::Less);
+    }
+
+    #[test]
+    fn nan_last_desc_sort_is_deterministic() {
+        let mut v = [1.0, f32::NAN, 3.0, 2.0, f32::NAN, -1.0];
+        let mut idx: Vec<usize> = (0..v.len()).collect();
+        idx.sort_by(|&a, &b| nan_last_desc(v[a], v[b]).then(a.cmp(&b)));
+        assert_eq!(idx, vec![2, 3, 0, 5, 1, 4]);
+        v.sort_by(|a, b| nan_last_desc(*a, *b));
+        assert!(v[..4].windows(2).all(|w| w[0] >= w[1]));
+        assert!(v[4].is_nan() && v[5].is_nan());
+    }
+}

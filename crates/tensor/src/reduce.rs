@@ -165,23 +165,22 @@ pub fn logsumexp_lastdim(t: &Tensor) -> Tensor {
     Tensor::from_vec(out, &shape)
 }
 
-/// Index of the maximum in each last-axis row.
+/// Index of the maximum *finite* value in each last-axis row; NaN/±∞
+/// entries are skipped deterministically (see [`crate::order`]), an
+/// all-non-finite row yields index 0. Ties resolve to the lower index.
 pub fn argmax_lastdim(t: &Tensor) -> Vec<usize> {
     let (rows, n) = rows_of(t);
     (0..rows)
         .map(|r| {
             let row = &t.data()[r * n..(r + 1) * n];
-            row.iter()
-                .enumerate()
-                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                .map(|(i, _)| i)
-                .unwrap_or(0)
+            crate::order::argmax_finite(row).unwrap_or(0)
         })
         .collect()
 }
 
 /// Indices of the `k` largest values in each last-axis row, descending.
-/// Ties are broken by the lower index (deterministic).
+/// Ties are broken by the lower index; NaN entries rank last
+/// (deterministic — see [`crate::order::nan_last_desc`]).
 pub fn topk_lastdim(t: &Tensor, k: usize) -> Vec<Vec<usize>> {
     let (rows, n) = rows_of(t);
     assert!(k <= n, "topk k={} exceeds row length {}", k, n);
@@ -189,12 +188,7 @@ pub fn topk_lastdim(t: &Tensor, k: usize) -> Vec<Vec<usize>> {
         .map(|r| {
             let row = &t.data()[r * n..(r + 1) * n];
             let mut idx: Vec<usize> = (0..n).collect();
-            idx.sort_by(|&a, &b| {
-                row[b]
-                    .partial_cmp(&row[a])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(a.cmp(&b))
-            });
+            idx.sort_by(|&a, &b| crate::order::nan_last_desc(row[a], row[b]).then(a.cmp(&b)));
             idx.truncate(k);
             idx
         })
@@ -301,6 +295,19 @@ mod tests {
     fn topk_tie_break_deterministic() {
         let t = Tensor::from_vec(vec![1.0, 1.0, 1.0, 0.0], &[1, 4]);
         assert_eq!(topk_lastdim(&t, 2)[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn argmax_and_topk_are_nan_safe() {
+        // A NaN in a score row must neither panic nor win the ranking.
+        let t = Tensor::from_vec(
+            vec![0.5, f32::NAN, 0.9, f32::NAN, f32::NAN, f32::NAN],
+            &[2, 3],
+        );
+        assert_eq!(argmax_lastdim(&t), vec![2, 0]); // all-NaN row falls back to 0
+        let tk = topk_lastdim(&t, 3);
+        assert_eq!(tk[0], vec![2, 0, 1]); // NaN ranks last
+        assert_eq!(tk[1], vec![0, 1, 2]); // all-NaN: index order
     }
 
     #[test]
