@@ -186,6 +186,12 @@ for ev in events:
     pids.add(ev["pid"])
     if ph == "M":
         continue
+    if ph == "X":
+        # Complete events (slow-request exemplars) carry their own dur and
+        # sit on a dedicated track — exempt from B/E ordering and stacks.
+        if "dur" not in ev:
+            sys.exit(f"FAIL: X event without dur: {ev}")
+        continue
     ts = ev["ts"]
     if last_ts is not None and ts < last_ts:
         sys.exit(f"FAIL: events out of timestamp order at ts={ts}")
@@ -234,14 +240,16 @@ EOF
 }
 
 run_serve() {
-    stage "serving gate: batched inference, latency report, bitwise batch/thread/shard invariance"
+    stage "serving gate: batched inference, live scrape soak, access log, bitwise invariance"
     # Train a small checkpoint, replay a synthetic 2000-request stream
-    # through `isrec serve`, validate the JSON report (finite p99, real
-    # batching, cache hits on a repeated-user stream), then re-serve the
-    # same stream under IST_SERVE_BATCH=1 vs 32, IST_THREADS=1 vs 4, and
+    # through `isrec serve` as a *live soak*: the scrape endpoint
+    # (IST_METRICS_ADDR) is polled while requests flow, the structured
+    # access log records every request, and the JSON report (v4: latency +
+    # SLO + exemplars) is validated. Then re-serve the same stream under
+    # IST_SERVE_BATCH=1 vs 32, IST_THREADS=1 vs 4, and
     # IST_SERVE_SHARDS=1/2/4 — the result fingerprint must be bitwise
-    # identical in all of them (batching/parallelism/sharding must never
-    # change scores).
+    # identical in all of them (batching/parallelism/sharding/observability
+    # must never change scores).
     local work
     mktempd_tracked work
     cargo run --release --locked --bin isrec -- \
@@ -249,16 +257,147 @@ run_serve() {
     cargo run --release --locked --bin isrec -- \
         train --data "$work/data" --snapshot "$work/model.bin" \
         --checkpoint-dir "$work/ckpts" --epochs 2 --max-len 20 >/dev/null
-    cargo run --release --locked --bin isrec -- \
+    # Build first so the background soak doesn't race a cold compile.
+    cargo build --release --locked --bin isrec >/dev/null
+    # The soak: port 0 picks a free port (printed to stderr); --linger-ms
+    # keeps the endpoint up after the report so the scraper's final pass
+    # can never lose the race. The process exits on its own — no kill, so
+    # the telemetry flush (--metrics-out) always runs.
+    IST_METRICS_ADDR=127.0.0.1:0 ./target/release/isrec \
         serve --data "$work/data" --checkpoint-dir "$work/ckpts" \
         --synthetic 2000 --report "$work/report_main.json" \
-        --metrics-out "$work/metrics.jsonl"
+        --metrics-out "$work/metrics.jsonl" \
+        --access-log "$work/access.jsonl" --linger-ms 10000 \
+        >"$work/soak.out" 2>"$work/soak.err" &
+    local soak_pid=$!
+    if ! python3 - "$work/soak.err" "$work/report_main.json" "$work/final_scrape.txt" <<'EOF'
+import json, re, sys, time, urllib.request
+
+err_path, report_path, scrape_out = sys.argv[1:4]
+
+def fail(msg):
+    sys.exit(f"FAIL: {msg}")
+
+def wait_for(what, predicate, timeout_s):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        got = predicate()
+        if got is not None:
+            return got
+        time.sleep(0.2)
+    fail(f"timed out waiting for {what}")
+
+def bound_addr():
+    try:
+        text = open(err_path).read()
+    except OSError:
+        return None
+    m = re.search(r"metrics endpoint listening on (http://\S+)", text)
+    return m.group(1) if m else None
+
+base = wait_for("the soak to print its bound address", bound_addr, 120)
+
+def get(path):
+    with urllib.request.urlopen(base + path, timeout=5) as resp:
+        return resp.status, resp.read().decode()
+
+def check_exposition(body):
+    """Prometheus text exposition: comments or `name[{labels}] value`."""
+    for line in body.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if not line.startswith("# TYPE "):
+                fail(f"unknown comment line: {line!r}")
+            continue
+        name, _, value = line.rpartition(" ")
+        bare = name.split("{")[0]
+        if not re.fullmatch(r"[A-Za-z_:][A-Za-z0-9_:]*", bare):
+            fail(f"bad metric name in: {line!r}")
+        float(value)
+
+def sample(body, metric):
+    for line in body.splitlines():
+        if line.split(" ")[0] == metric:
+            return float(line.rsplit(" ", 1)[1])
+    return None
+
+# Poll /metrics while the soak serves: every scrape must be valid
+# exposition and serve_requests_total must climb monotonically to exactly
+# the driver's 2000 requests.
+last = 0.0
+def requests_done():
+    global last
+    status, body = get("/metrics")
+    if status != 200:
+        fail(f"/metrics answered {status}")
+    check_exposition(body)
+    n = sample(body, "serve_requests_total")
+    if n is None:
+        return None
+    if n < last:
+        fail(f"serve_requests_total went backwards: {n} < {last}")
+    last = n
+    if n > 2000:
+        fail(f"serve_requests_total overshot the driver: {n}")
+    return body if n == 2000 else None
+
+final = wait_for("serve_requests_total to reach 2000", requests_done, 300)
+with open(scrape_out, "w") as f:
+    f.write(final)
+for family in ("serve_request_us_bucket", "serve_slo_p99_us", "serve_queue_depth",
+               "serve_batch_size_count"):
+    if family not in final:
+        fail(f"final scrape lacks {family}:\n{final}")
+
+# The engine is healthy: /healthz answers 200 and reports non-degraded
+# with a live SLO block.
+status, body = get("/healthz")
+if status != 200:
+    fail(f"/healthz answered {status}: {body}")
+health = json.loads(body)
+eng = health.get("engine") or fail(f"/healthz has no engine block: {body}")
+if eng["degraded"]:
+    fail(f"engine degraded after a fault-free soak: {body}")
+if eng["slo"]["total_observed"] != 2000:
+    fail(f"SLO monitor missed requests: {eng['slo']}")
+
+wait_for("the serve report to be written",
+         lambda: True if __import__("os").path.exists(report_path) else None, 60)
+print(f"live soak ok: scraped {base}, serve_requests_total reached 2000, engine healthy")
+EOF
+    then
+        kill "$soak_pid" 2>/dev/null || true
+        wait "$soak_pid" 2>/dev/null || true
+        echo "FAIL: live-soak scrape validation failed; soak stderr:" >&2
+        tail -20 "$work/soak.err" >&2 || true
+        exit 1
+    fi
+    wait "$soak_pid"
+    cat "$work/soak.out"
     python3 - "$work/report_main.json" <<'EOF'
 import json, math, sys
 
 r = json.load(open(sys.argv[1]))
-if r.get("schema") != "isrec.serve_report.v3":
+if r.get("schema") != "isrec.serve_report.v4":
     sys.exit(f"FAIL: unexpected report schema {r.get('schema')!r}")
+slo = r["slo"]
+if not slo["active"]:
+    sys.exit("FAIL: SLO monitor inactive despite access log + endpoint")
+if slo["total_observed"] != r["requests"]:
+    sys.exit(f"FAIL: SLO observed {slo['total_observed']} of {r['requests']} requests")
+if slo["p99_us"] <= 0:
+    sys.exit(f"FAIL: SLO p99 not positive: {slo}")
+if slo["error_pct"] != 0 or slo["error_burn"] != 0:
+    sys.exit(f"FAIL: fault-free soak burned error budget: {slo}")
+exs = r["exemplars"]
+if not exs or len(exs) > 8:
+    sys.exit(f"FAIL: exemplar reservoir has {len(exs)} entries")
+for ex in exs:
+    if ex["total_us"] <= 0 or "score_us" not in ex or "queue_us" not in ex:
+        sys.exit(f"FAIL: malformed exemplar: {ex}")
+if any(exs[i]["total_us"] < exs[i + 1]["total_us"] for i in range(len(exs) - 1)):
+    sys.exit("FAIL: exemplars not sorted slowest-first")
 shard = r["shard"]
 if shard["count"] < 1:
     sys.exit(f"FAIL: shard block reports no shards in effect: {shard}")
@@ -281,6 +420,37 @@ if any(res[k] != 0 for k in ("shed", "timed_out", "scorer_panics", "respawns", "
 if res["degraded"]:
     sys.exit("FAIL: fault-free run ended degraded")
 print(f"report ok: p99={p99}us avg_batch={r['batch']['avg']} hit_rate={r['cache']['hit_rate']}")
+EOF
+    python3 - "$work/access.jsonl" <<'EOF'
+import json, sys
+
+stages = ("queue_us", "batch_us", "cache_us", "encode_us", "score_us", "merge_us", "reply_us")
+seen = set()
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+if len(lines) != 2000:
+    sys.exit(f"FAIL: access log has {len(lines)} lines for 2000 requests")
+for i, line in enumerate(lines, 1):
+    try:
+        rec = json.loads(line)
+    except json.JSONDecodeError as e:
+        sys.exit(f"FAIL: access-log line {i} is not valid JSON ({e}): {line!r}")
+    missing = ({"req", "outcome", "total_us", "batch", "shards", "cache_hit"}
+               | set(stages)) - rec.keys()
+    if missing:
+        sys.exit(f"FAIL: access-log line {i} lacks {sorted(missing)}: {line!r}")
+    if rec["req"] in seen:
+        sys.exit(f"FAIL: duplicate trace id {rec['req']}")
+    seen.add(rec["req"])
+    if rec["outcome"] != "ok":
+        sys.exit(f"FAIL: fault-free soak logged outcome {rec['outcome']!r}: {line!r}")
+    if sum(rec[s] for s in stages) > rec["total_us"]:
+        sys.exit(f"FAIL: stage breakdown exceeds total latency: {line!r}")
+    if rec["batch"] < 1 or rec["shards"] < 1:
+        sys.exit(f"FAIL: answered request without batch/shard info: {line!r}")
+hits = sum(json.loads(l)["cache_hit"] for l in lines)
+if hits == 0:
+    sys.exit("FAIL: access log saw zero cache hits on a repeated-user stream")
+print(f"access log ok: 2000 unique traced requests, stage sums consistent, {hits} cache hits")
 EOF
     python3 - "$work/metrics.jsonl" <<'EOF'
 import json, sys
@@ -353,7 +523,7 @@ import json, sys
 
 base, chaos, rerun = (json.load(open(p)) for p in sys.argv[1:4])
 for name, r in (("baseline", base), ("chaos", chaos), ("rerun", rerun)):
-    if r.get("schema") != "isrec.serve_report.v3":
+    if r.get("schema") != "isrec.serve_report.v4":
         sys.exit(f"FAIL: {name}: unexpected report schema {r.get('schema')!r}")
 if chaos["shard"]["count"] != 4:
     sys.exit(f"FAIL: chaos run ignored IST_SERVE_SHARDS=4: {chaos['shard']}")

@@ -1,0 +1,123 @@
+//! Environment-knob parsing with once-per-process malformed-value warnings.
+//!
+//! Every `IST_*` tuning knob shares the same failure contract: an unset
+//! variable silently takes the default, but a *malformed* value warns on
+//! stderr — naming the variable, the rejected value, and the fallback used
+//! — exactly once per process per variable, then takes the default. Hot
+//! paths read these knobs once at startup, so there is no caching layer;
+//! the once-guard exists because some call sites (config constructors,
+//! respawning scorer incarnations) re-read the environment repeatedly.
+
+use std::collections::BTreeSet;
+use std::fmt::Display;
+use std::str::FromStr;
+use std::sync::{Mutex, OnceLock};
+
+use crate::lock_tolerant;
+
+fn warned() -> &'static Mutex<BTreeSet<String>> {
+    static WARNED: OnceLock<Mutex<BTreeSet<String>>> = OnceLock::new();
+    WARNED.get_or_init(|| Mutex::new(BTreeSet::new()))
+}
+
+/// Records that `name` produced a malformed-value warning; true for the
+/// first caller only.
+fn first_warning(name: &str) -> bool {
+    lock_tolerant(warned()).insert(name.to_string())
+}
+
+/// Variables that have warned so far this process (test hook).
+pub fn warned_vars() -> Vec<String> {
+    lock_tolerant(warned()).iter().cloned().collect()
+}
+
+/// Parses `name` as a `T`. Unset → `default` silently; malformed → one
+/// stderr warning per process per variable, then `default`.
+pub fn parse_or<T: FromStr + Display>(name: &str, default: T) -> T {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                if first_warning(name) {
+                    eprintln!(
+                        "warning: ignoring malformed {name}={v:?}; using the default {default}"
+                    );
+                }
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+/// [`parse_or`] for `u64` knobs.
+pub fn u64_or(name: &str, default: u64) -> u64 {
+    parse_or(name, default)
+}
+
+/// [`parse_or`] for `f64` knobs.
+pub fn f64_or(name: &str, default: f64) -> f64 {
+    parse_or(name, default)
+}
+
+/// [`parse_or`] for `usize` knobs that must be strictly positive (ring
+/// capacities and the like): `0` is rejected with the same once-per-process
+/// warning as a parse failure.
+pub fn positive_usize_or(name: &str, default: usize) -> usize {
+    match std::env::var(name) {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                if first_warning(name) {
+                    eprintln!(
+                        "warning: ignoring malformed {name}={v:?} (need a positive integer); \
+                         using the default {default}"
+                    );
+                }
+                default
+            }
+        },
+        Err(_) => default,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn malformed_values_warn_once_and_fall_back() {
+        // Env mutation is process-global; the vars here are unique to this
+        // test, so no lock is needed beyond uniqueness.
+        std::env::set_var("IST_TEST_ENV_BAD", "not-a-number");
+        assert_eq!(u64_or("IST_TEST_ENV_BAD", 7), 7);
+        assert_eq!(u64_or("IST_TEST_ENV_BAD", 7), 7);
+        let warns = warned_vars()
+            .iter()
+            .filter(|w| w.as_str() == "IST_TEST_ENV_BAD")
+            .count();
+        assert_eq!(warns, 1, "the once-guard must dedupe repeat parses");
+        std::env::remove_var("IST_TEST_ENV_BAD");
+    }
+
+    #[test]
+    fn unset_and_valid_values_never_warn() {
+        assert_eq!(u64_or("IST_TEST_ENV_UNSET", 3), 3);
+        std::env::set_var("IST_TEST_ENV_OK", "42");
+        assert_eq!(u64_or("IST_TEST_ENV_OK", 3), 42);
+        std::env::set_var("IST_TEST_ENV_F", "2.5");
+        assert!((f64_or("IST_TEST_ENV_F", 0.0) - 2.5).abs() < 1e-12);
+        assert!(warned_vars().iter().all(|w| !w.contains("ENV_UNSET")));
+        assert!(warned_vars().iter().all(|w| !w.contains("ENV_OK")));
+        std::env::remove_var("IST_TEST_ENV_OK");
+        std::env::remove_var("IST_TEST_ENV_F");
+    }
+
+    #[test]
+    fn zero_is_rejected_for_positive_knobs() {
+        std::env::set_var("IST_TEST_ENV_ZERO", "0");
+        assert_eq!(positive_usize_or("IST_TEST_ENV_ZERO", 9), 9);
+        assert!(warned_vars().iter().any(|w| w == "IST_TEST_ENV_ZERO"));
+        std::env::remove_var("IST_TEST_ENV_ZERO");
+    }
+}

@@ -47,6 +47,9 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Instant;
 
+pub mod env;
+pub mod export;
+pub mod reqctx;
 pub mod trace;
 
 pub use trace::{trace_enabled, TraceScope};
@@ -62,12 +65,17 @@ pub enum Mode {
     Json,
     /// Aggregate only; `flush` renders a human-readable table to stderr.
     Summary,
+    /// Aggregate only, and `flush` emits nothing — for live scrapers
+    /// ([`export`]) that read the registry directly. Forced automatically
+    /// when a scrape endpoint starts while metrics are otherwise off.
+    Collect,
 }
 
 const MODE_UNINIT: u8 = 0;
 const MODE_OFF: u8 = 1;
 const MODE_JSON: u8 = 2;
 const MODE_SUMMARY: u8 = 3;
+const MODE_COLLECT: u8 = 4;
 
 static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
 
@@ -78,6 +86,7 @@ pub fn mode() -> Mode {
         MODE_OFF => Mode::Off,
         MODE_JSON => Mode::Json,
         MODE_SUMMARY => Mode::Summary,
+        MODE_COLLECT => Mode::Collect,
         _ => init_mode_from_env(),
     }
 }
@@ -97,6 +106,7 @@ pub fn set_mode(mode: Mode) {
         Mode::Off => MODE_OFF,
         Mode::Json => MODE_JSON,
         Mode::Summary => MODE_SUMMARY,
+        Mode::Collect => MODE_COLLECT,
     };
     MODE.store(raw, Ordering::Relaxed);
 }
@@ -107,10 +117,11 @@ fn init_mode_from_env() -> Mode {
         Ok(v) => match v.trim() {
             "json" => Mode::Json,
             "summary" => Mode::Summary,
+            "collect" => Mode::Collect,
             "" | "off" | "0" => Mode::Off,
             other => {
                 eprintln!(
-                    "warning: unknown IST_METRICS={other:?} (expected json|summary|off); \
+                    "warning: unknown IST_METRICS={other:?} (expected json|summary|collect|off); \
                      metrics stay off"
                 );
                 Mode::Off
@@ -133,12 +144,23 @@ struct SpanStat {
 }
 
 #[derive(Default)]
-struct Registry {
-    counters: Vec<&'static Counter>,
-    gauges: Vec<&'static Gauge>,
-    timers: Vec<&'static Timer>,
-    histograms: Vec<&'static Histogram>,
+pub(crate) struct Registry {
+    pub(crate) counters: Vec<&'static Counter>,
+    pub(crate) gauges: Vec<&'static Gauge>,
+    pub(crate) timers: Vec<&'static Timer>,
+    pub(crate) histograms: Vec<&'static Histogram>,
     spans: BTreeMap<&'static str, SpanStat>,
+}
+
+impl Registry {
+    /// `(name, count, total_ns)` per aggregated span (for the scrape
+    /// endpoint's exposition).
+    pub(crate) fn span_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        self.spans
+            .iter()
+            .map(|(name, s)| (*name, s.count, s.total_ns))
+            .collect()
+    }
 }
 
 /// Locks an observability mutex, tolerating poisoning: telemetry must never
@@ -147,7 +169,7 @@ pub(crate) fn lock_tolerant<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
-fn registry() -> &'static Mutex<Registry> {
+pub(crate) fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Registry::default()))
 }
@@ -243,6 +265,11 @@ impl Counter {
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
     }
+
+    /// The counter's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
 }
 
 /// A named last-value-wins gauge (e.g. configured pool size).
@@ -320,6 +347,11 @@ impl Gauge {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
+    }
+
+    /// The gauge's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 }
 
@@ -409,6 +441,11 @@ impl Timer {
     /// Total recorded work units.
     pub fn units(&self) -> u64 {
         self.units.load(Ordering::Relaxed)
+    }
+
+    /// The timer's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
     }
 }
 
@@ -510,6 +547,25 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// The histogram's registered name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum_value(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// A snapshot of the per-bucket counts (log₂ buckets; see
+    /// [`Histogram`]). Used by the Prometheus exposition mapping.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
     /// Mean of recorded samples (0.0 when empty).
     pub fn mean(&self) -> f64 {
         let n = self.count();
@@ -537,9 +593,16 @@ impl Histogram {
             }
             if seen + in_bucket >= rank {
                 let (lo, hi) = Self::bucket_range(i);
-                // Assume samples spread evenly across the bucket's range;
-                // cap the open-ended last bucket at one octave.
-                let hi = if i == HIST_BUCKETS - 1 { lo * 2 } else { hi };
+                // Assume samples spread evenly across the bucket's range.
+                // The last bucket is open-ended (`hi == u64::MAX`), so
+                // interpolating inside it would explode the estimate; no
+                // single sample can exceed the recorded sum, so the sum is
+                // a tight upper bound when one outlier landed there.
+                let hi = if i == HIST_BUCKETS - 1 {
+                    self.sum.load(Ordering::Relaxed).max(lo)
+                } else {
+                    hi
+                };
                 let into = (rank - seen) as f64 / in_bucket as f64;
                 return lo as f64 + (hi - lo) as f64 * into;
             }
@@ -794,7 +857,7 @@ pub fn register_flush_hook(hook: FlushHook) {
     }
 }
 
-fn hooks_snapshot() -> Vec<FlushHook> {
+pub(crate) fn hooks_snapshot() -> Vec<FlushHook> {
     lock_tolerant(hooks()).clone()
 }
 
@@ -840,7 +903,8 @@ pub fn snapshot_json() -> Vec<String> {
 /// independent of the metrics mode. Call once at the end of a binary.
 pub fn flush() {
     match mode() {
-        Mode::Off => {}
+        // Collect aggregates for live scrapers but emits nothing at exit.
+        Mode::Off | Mode::Collect => {}
         Mode::Json => {
             for line in snapshot_json() {
                 emit_line(&line);
@@ -1154,6 +1218,36 @@ mod tests {
         assert!(line.contains("\"p99\":"));
         assert!(line.contains("\"unit\":\"us\""));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn histogram_top_bucket_quantile_is_sum_clamped() {
+        let _guard = mode_lock();
+        set_mode(Mode::Summary);
+        static H: Histogram = Histogram::with_unit("test.hist_top_bucket", "us");
+        reset();
+        // One huge sample in the open-ended top bucket: before the sum
+        // clamp, interpolation against the bucket's nominal upper bound
+        // produced estimates past the sample itself (absurd for anything
+        // ≥ 2^62). With the clamp, the estimate can never exceed the
+        // recorded sum — here, the sample's own value.
+        let huge = 1u64 << 62;
+        H.record(huge);
+        let est = H.quantile(1.0);
+        assert!(
+            (est - huge as f64).abs() <= huge as f64 * 1e-9,
+            "single-sample max must be ~exact, got {est} vs {huge}"
+        );
+        // A second small sample raises the sum slightly; the top-bucket
+        // bound must still stay within the sum, not the octave above.
+        H.record(100);
+        let est = H.quantile(1.0);
+        assert!(
+            est >= huge as f64 && est <= (huge + 100) as f64,
+            "max estimate {est} escaped the sum bound"
+        );
+        reset();
+        set_mode(Mode::Off);
     }
 
     #[test]

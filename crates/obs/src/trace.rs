@@ -76,11 +76,9 @@ struct TraceShared {
 fn shared() -> &'static Mutex<TraceShared> {
     static SHARED: OnceLock<Mutex<TraceShared>> = OnceLock::new();
     SHARED.get_or_init(|| {
-        let cap = std::env::var("IST_TRACE_CAP")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&c| c > 0)
-            .unwrap_or(DEFAULT_CAP);
+        // A malformed (or zero) cap warns once and falls back, rather than
+        // silently shrinking or disabling the ring.
+        let cap = crate::env::positive_usize_or("IST_TRACE_CAP", DEFAULT_CAP);
         Mutex::new(TraceShared {
             ring: Ring {
                 recs: VecDeque::new(),
@@ -98,7 +96,9 @@ fn epoch() -> &'static Instant {
     EPOCH.get_or_init(Instant::now)
 }
 
-fn now_ns() -> u64 {
+/// Nanoseconds since the process-wide trace epoch (shared with
+/// [`crate::reqctx`] so exemplars land on the same timeline).
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos() as u64
 }
 
@@ -273,6 +273,12 @@ pub fn export_json() -> String {
              \"s\":\"g\",\"args\":{{\"count\":{}}}}}",
             sh.ring.dropped
         ));
+    }
+    // Slow-request exemplars render as "X" (complete) events on their own
+    // track, with the full per-stage breakdown in args.
+    for ev in crate::reqctx::exemplar_trace_events() {
+        out.push_str(",\n");
+        out.push_str(&ev);
     }
     // (timestamp ns, phase rank, record index, is_begin); see doc above.
     let mut events: Vec<(u64, u32, usize, bool)> = Vec::with_capacity(sh.ring.recs.len() * 2);

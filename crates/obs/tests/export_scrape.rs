@@ -1,0 +1,160 @@
+//! Integration tests for the live scrape endpoint: concurrent `/metrics`
+//! scrapes racing metric recording must always see well-formed Prometheus
+//! text exposition with monotone counters, and `/healthz` must answer.
+//! Serialized with a local lock (process-global obs state).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serial() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+static SCRAPE_EVENTS: ist_obs::Counter = ist_obs::Counter::new("export_stress.events");
+static SCRAPE_LAT: ist_obs::Histogram = ist_obs::Histogram::with_unit("export_stress.lat", "us");
+
+/// One HTTP GET against the endpoint; returns (status, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect scrape endpoint");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("numeric status");
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Every line of a scrape must be a comment or `name[{labels}] value`.
+fn assert_exposition_grammar(body: &str) {
+    for line in body.lines().filter(|l| !l.trim().is_empty()) {
+        if line.starts_with('#') {
+            assert!(line.starts_with("# TYPE "), "unknown comment: {line}");
+            continue;
+        }
+        let (name, value) = line.rsplit_once(' ').expect("sample needs a space");
+        assert!(!name.is_empty(), "empty metric name: {line}");
+        let bare = name.split('{').next().unwrap();
+        assert!(
+            bare.chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+            "bad metric name {bare:?} in: {line}"
+        );
+        value
+            .parse::<f64>()
+            .unwrap_or_else(|e| panic!("bad value in {line:?}: {e}"));
+    }
+}
+
+/// Pulls one counter's value out of a scrape, if present.
+fn sample(body: &str, name: &str) -> Option<u64> {
+    body.lines()
+        .find(|l| l.split(' ').next() == Some(name))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+}
+
+#[test]
+fn concurrent_scrapes_race_recording_without_corruption() {
+    let _g = serial();
+    ist_obs::set_mode(ist_obs::Mode::Collect);
+    ist_obs::reset();
+    let addr = ist_obs::export::start("127.0.0.1:0").expect("bind scrape endpoint");
+
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        // Recorders hammer a counter + histogram the whole time.
+        for _ in 0..2 {
+            scope.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    SCRAPE_EVENTS.inc();
+                    SCRAPE_LAT.record(17);
+                }
+            });
+        }
+        // Scrapers: every response is valid exposition and the counter
+        // never goes backwards from any single scraper's view.
+        let scrapers: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut last = 0u64;
+                    for _ in 0..25 {
+                        let (status, body) = get(addr, "/metrics");
+                        assert_eq!(status, 200);
+                        assert_exposition_grammar(&body);
+                        if let Some(v) = sample(&body, "export_stress_events_total") {
+                            assert!(v >= last, "counter went backwards: {v} < {last}");
+                            last = v;
+                        }
+                    }
+                    last
+                })
+            })
+            .collect();
+        let finals: Vec<u64> = scrapers.into_iter().map(|s| s.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        assert!(
+            finals.iter().any(|&v| v > 0),
+            "no scrape ever observed the stress counter"
+        );
+    });
+
+    // Histogram family: cumulative buckets are monotone and agree with
+    // _count.
+    let (_, body) = get(addr, "/metrics");
+    let buckets: Vec<u64> = body
+        .lines()
+        .filter(|l| l.starts_with("export_stress_lat_bucket"))
+        .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+        .collect();
+    assert!(!buckets.is_empty(), "histogram family missing:\n{body}");
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "non-monotone: {buckets:?}"
+    );
+    assert_eq!(
+        Some(*buckets.last().unwrap()),
+        sample(&body, "export_stress_lat_count"),
+        "+Inf bucket must equal _count"
+    );
+
+    ist_obs::reset();
+    ist_obs::set_mode(ist_obs::Mode::Off);
+}
+
+#[test]
+fn healthz_and_unknown_routes_answer() {
+    let _g = serial();
+    let addr = ist_obs::export::start("127.0.0.1:0").expect("bind scrape endpoint");
+
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"status\""), "no status field: {body}");
+
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+
+    // An installed provider overrides the default and can flip the code.
+    ist_obs::export::set_health_provider(Box::new(|| (503, "{\"status\":\"degraded\"}".into())));
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 503);
+    assert!(body.contains("degraded"));
+    ist_obs::export::clear_health_provider();
+
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+}

@@ -27,13 +27,15 @@ use std::time::{Duration, Instant};
 use isrec_core::{snapshot, CheckpointManager, Isrec, IsrecConfig};
 use ist_data::SequentialDataset;
 use ist_nn::Module as _;
+use ist_obs::reqctx::{self, ReqCtx, Stage};
 use ist_tensor::Tensor;
 
 use crate::cache::ReprCache;
 use crate::error::ServeError;
 use crate::fallback::FallbackRanker;
 use crate::resilience::{BatchFault, ServeFaultPlan};
-use crate::shard::{resolve_shards, score_sharded, ShardPlan};
+use crate::shard::{resolve_shards, score_sharded_timed, ShardPlan};
+use crate::slo::{self, SloConfig, SloMonitor, SloSnapshot};
 
 /// End-to-end request latency (enqueue → response), microseconds; the
 /// summary table renders its p50/p95/p99.
@@ -54,6 +56,11 @@ static DEGRADED_SERVED: ist_obs::Counter = ist_obs::Counter::new("serve.degraded
 static RELOAD_SKIPPED: ist_obs::Counter = ist_obs::Counter::new("serve.reload_skipped");
 /// 1 while the engine is serving fallback answers, 0 when healthy.
 static DEGRADED: ist_obs::Gauge = ist_obs::Gauge::new("serve.degraded");
+/// Finished requests, every outcome (exports as `serve_requests_total`;
+/// the CI serve stage checks it against the driver's request count).
+static REQUESTS: ist_obs::Counter = ist_obs::Counter::new("serve.requests");
+/// Admission-queue depth after the latest enqueue/dispatch.
+static QUEUE_DEPTH: ist_obs::Gauge = ist_obs::Gauge::new("serve.queue_depth");
 
 /// Sentinel for "no checkpoint epoch" in the shared atomic.
 const NO_EPOCH: u64 = u64::MAX;
@@ -118,6 +125,12 @@ pub struct ServeConfig {
     /// Counts above the catalog size clamp to one item per shard.
     /// Scores and ranking are bitwise identical for every value.
     pub shards: usize,
+    /// SLO targets for the rolling monitor. `None` reads
+    /// `IST_SERVE_SLO_MS` / `IST_SERVE_SLO_ERR_PCT` /
+    /// `IST_SERVE_SLO_WINDOW` at [`ScoreEngine::start`]; tests pass an
+    /// explicit config. The monitor never affects scores or scheduling —
+    /// it only observes.
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServeConfig {
@@ -131,21 +144,15 @@ impl Default for ServeConfig {
             max_respawns: 3,
             faults: None,
             shards: 0,
+            slo: None,
         }
     }
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
-    match std::env::var(name) {
-        Ok(v) => match v.trim().parse() {
-            Ok(n) => n,
-            Err(_) => {
-                eprintln!("warning: ignoring invalid {name}={v:?} (expected an integer)");
-                default
-            }
-        },
-        Err(_) => default,
-    }
+    // Warns once per process per variable (see `ist_obs::env`), so a soak
+    // with a typo'd knob doesn't flood stderr from every config read.
+    ist_obs::env::u64_or(name, default)
 }
 
 impl ServeConfig {
@@ -168,6 +175,7 @@ impl ServeConfig {
             max_respawns: env_u64("IST_SERVE_MAX_RESPAWNS", d.max_respawns as u64) as u32,
             faults: None,
             shards: env_u64("IST_SERVE_SHARDS", d.shards as u64) as usize,
+            slo: None,
         }
     }
 }
@@ -321,6 +329,9 @@ struct QueuedScore {
     /// Admission order, the shed/expiry tiebreaker.
     seq: u64,
     slot: Arc<Slot<ServeResponse>>,
+    /// Per-request trace context (None when observability is inactive —
+    /// the whole pipeline then skips every stage probe).
+    ctx: Option<Arc<ReqCtx>>,
 }
 
 /// Shed priority: the request whose deadline (or, lacking one, admission
@@ -382,10 +393,18 @@ struct Shared {
     /// Fast path: false once the plan drains, so the healthy path never
     /// takes the fault lock.
     faults_active: AtomicBool,
+    /// Rolling p99/error-rate monitor (inactive unless observability is
+    /// on — one relaxed load per finished request then).
+    slo: SloMonitor,
 }
 
 impl Shared {
-    fn new(num_items: usize, fallback: FallbackRanker, faults: ServeFaultPlan) -> Shared {
+    fn new(
+        num_items: usize,
+        fallback: FallbackRanker,
+        faults: ServeFaultPlan,
+        slo: SloMonitor,
+    ) -> Shared {
         let faults_active = AtomicBool::new(!faults.is_empty());
         Shared {
             queue: Mutex::new(QueueState {
@@ -414,6 +433,7 @@ impl Shared {
             fallback,
             faults: Mutex::new(faults),
             faults_active,
+            slo,
         }
     }
 
@@ -441,7 +461,19 @@ impl ScoreEngine {
     pub fn start(spec: ModelSpec, cfg: ServeConfig) -> Result<ScoreEngine, String> {
         let fallback = FallbackRanker::build(&spec.dataset);
         let faults = cfg.faults.clone().unwrap_or_else(ServeFaultPlan::from_env);
-        let shared = Arc::new(Shared::new(spec.dataset.num_items, fallback, faults));
+        let monitor = SloMonitor::new(cfg.slo.clone().unwrap_or_else(SloConfig::from_env));
+        // The monitor samples only while something can read it (metrics,
+        // access log, trace, or a scrape endpoint): off means one relaxed
+        // load per request and an all-zero snapshot.
+        monitor.set_active(reqctx::active() || ist_obs::export::active());
+        let shared = Arc::new(Shared::new(
+            spec.dataset.num_items,
+            fallback,
+            faults,
+            monitor.clone(),
+        ));
+        slo::install(&monitor);
+        install_health_provider(&shared);
         let worker_shared = Arc::clone(&shared);
         let worker_cfg = cfg.clone();
         let (ready_tx, ready_rx) = mpsc::channel::<Result<(), String>>();
@@ -493,6 +525,35 @@ impl ScoreEngine {
         k: usize,
         budget: Option<Duration>,
     ) -> Result<ServeResponse, ServeError> {
+        // The trace context is born before validation so invalid requests
+        // still land in the access log (outcome "invalid"); None when
+        // observability is off, which turns every probe below into a
+        // single branch.
+        let start = Instant::now();
+        let ctx = ReqCtx::start(history.len(), k);
+        let out = self.recommend_inner(history, k, budget, start, &ctx);
+        REQUESTS.inc();
+        let (outcome, degraded) = match &out {
+            Ok(resp) => ("ok", resp.degraded),
+            Err(e) => (e.kind(), false),
+        };
+        let total_us = match ctx {
+            Some(c) => reqctx::finish(&c, outcome, degraded),
+            None => start.elapsed().as_micros() as u64,
+        };
+        REQUEST_US.record(total_us);
+        self.shared.slo.observe(total_us, out.is_ok());
+        out
+    }
+
+    fn recommend_inner(
+        &self,
+        history: &[usize],
+        k: usize,
+        budget: Option<Duration>,
+        start: Instant,
+        ctx: &Option<Arc<ReqCtx>>,
+    ) -> Result<ServeResponse, ServeError> {
         if history.is_empty() {
             return Err(ServeError::InvalidRequest(
                 "empty history: nothing to condition the model on".into(),
@@ -511,7 +572,9 @@ impl ScoreEngine {
         }
         let mut span = ist_obs::Span::enter("serve.request");
         span.add_field("k", k);
-        let start = Instant::now();
+        if let Some(c) = ctx {
+            span.add_field("req", c.id() as usize);
+        }
         let deadline = budget.map(|b| start + b);
         let slot = Arc::new(Slot::new());
         self.enqueue_score(QueuedScore {
@@ -522,6 +585,7 @@ impl ScoreEngine {
             admitted: start,
             seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
             slot: Arc::clone(&slot),
+            ctx: ctx.clone(),
         })?;
         let out = match slot.wait_until(deadline) {
             Some(result) => result,
@@ -537,12 +601,17 @@ impl ScoreEngine {
                 })
             }
         };
-        REQUEST_US.record(start.elapsed().as_micros() as u64);
         if let Ok(resp) = &out {
             span.add_field("items", resp.items.len());
             span.add_field("degraded", resp.degraded as u64);
         }
         out
+    }
+
+    /// Point-in-time SLO snapshot (all-zero/inactive when observability is
+    /// off). See [`crate::slo`] for the burn-rate semantics.
+    pub fn slo(&self) -> SloSnapshot {
+        self.shared.slo.snapshot()
     }
 
     /// Re-checks the weight source. For a checkpoint dir, a strictly newer
@@ -640,6 +709,7 @@ impl ScoreEngine {
         }
         q.score_len += 1;
         q.jobs.push_back(Job::Score(js));
+        QUEUE_DEPTH.set(q.score_len as u64);
         drop(q);
         shared.cond.notify_all();
         Ok(())
@@ -671,7 +741,29 @@ impl ScoreEngine {
 impl Drop for ScoreEngine {
     fn drop(&mut self) {
         self.join_worker();
+        ist_obs::export::clear_health_provider();
+        slo::uninstall(&self.shared.slo);
     }
+}
+
+/// `/healthz` for this engine: 503 + `"degraded"` while the fallback is
+/// serving, 200 otherwise, with respawn/panic/queue-depth counts and the
+/// live SLO snapshot in the body.
+fn install_health_provider(shared: &Arc<Shared>) {
+    let shared = Arc::clone(shared);
+    ist_obs::export::set_health_provider(Box::new(move || {
+        let degraded = shared.degraded.load(Ordering::Relaxed);
+        let queue_depth = shared.lock_queue().score_len;
+        let body = format!(
+            "{{\"status\":{:?},\"engine\":{{\"degraded\":{degraded},\"respawns\":{},\
+             \"scorer_panics\":{},\"queue_depth\":{queue_depth},\"slo\":{}}}}}\n",
+            if degraded { "degraded" } else { "ok" },
+            shared.respawns.load(Ordering::Relaxed),
+            shared.scorer_panics.load(Ordering::Relaxed),
+            shared.slo.snapshot().to_json(),
+        );
+        (if degraded { 503 } else { 200 }, body)
+    }));
 }
 
 // ---------------------------------------------------------------------------
@@ -850,6 +942,11 @@ fn degraded_loop<'scope, 'env>(
                         items,
                         degraded: true,
                     });
+                if let Some(c) = &req.ctx {
+                    // Fallback answers are unbatched and unsharded.
+                    c.set_batch_info(false, 1, 0);
+                    c.mark_filled();
+                }
                 req.slot.fill(result);
             }
             Job::Reload { slot } => {
@@ -949,6 +1046,12 @@ struct ScoreReq {
     history: Vec<usize>,
     k: usize,
     slot: Arc<Slot<ServeResponse>>,
+    /// Trace context (None when observability is off).
+    ctx: Option<Arc<ReqCtx>>,
+    /// When the batcher popped this request off the queue — the boundary
+    /// between its queue-wait and batch-assembly stages. Only taken when
+    /// traced.
+    popped: Option<Instant>,
 }
 
 /// Pop-time admission: skips requests whose caller already gave up, and
@@ -958,11 +1061,18 @@ fn expire_or_admit(shared: &Shared, js: QueuedScore) -> Option<ScoreReq> {
     if js.slot.is_canceled() {
         return None;
     }
+    let now = Instant::now();
+    if let Some(c) = &js.ctx {
+        c.record(Stage::Queue, now.saturating_duration_since(js.admitted));
+    }
     if let Some(d) = js.deadline {
-        if Instant::now() >= d {
+        if now >= d {
             if js.slot.cancel() {
                 shared.timed_out.fetch_add(1, Ordering::Relaxed);
                 TIMED_OUT.inc();
+                if let Some(c) = &js.ctx {
+                    c.mark_filled();
+                }
                 js.slot.fill(Err(ServeError::DeadlineExceeded {
                     budget: js.budget.unwrap_or_default(),
                 }));
@@ -970,10 +1080,13 @@ fn expire_or_admit(shared: &Shared, js: QueuedScore) -> Option<ScoreReq> {
             return None;
         }
     }
+    let popped = js.ctx.is_some().then_some(now);
     Some(ScoreReq {
         history: js.history,
         k: js.k,
         slot: js.slot,
+        ctx: js.ctx,
+        popped,
     })
 }
 
@@ -1016,6 +1129,12 @@ fn next_work(shared: &Shared, cfg: &ServeConfig) -> Work {
                         || q.shutdown
                         || matches!(q.jobs.front(), Some(Job::Reload { .. }))
                     {
+                        QUEUE_DEPTH.set(q.score_len as u64);
+                        for req in &batch {
+                            if let (Some(c), Some(p)) = (&req.ctx, req.popped) {
+                                c.record(Stage::Batch, p.elapsed());
+                            }
+                        }
                         return Work::Batch(batch);
                     }
                     let (guard, _) = shared
@@ -1131,6 +1250,9 @@ fn scorer_incarnation(
                     // by the respawned incarnation.
                     let why = panic_msg(payload.as_ref());
                     for req in &batch {
+                        if let Some(c) = &req.ctx {
+                            c.mark_filled();
+                        }
                         req.slot.fill(Err(ServeError::ScorerPanic(why.clone())));
                     }
                     return Exit::Panicked(why);
@@ -1220,6 +1342,11 @@ fn process_batch(
     let mut span = ist_obs::Span::enter("serve.batch");
     span.add_field("size", m);
     BATCH_SIZE.record(m as u64);
+    // Stage probes are batch-granular: the cache/encode/score work is
+    // shared by every request in the batch, so each traced request gets
+    // the same interval. One branch when nothing in the batch is traced.
+    let any_ctx = batch.iter().any(|r| r.ctx.is_some());
+    let stage_started = any_ctx.then(Instant::now);
 
     // Cache lookup on the *effective* history — the last max_len items are
     // all the encoder ever sees, so longer keys would only split hits.
@@ -1231,6 +1358,16 @@ fn process_batch(
         .iter()
         .map(|key| cache.get(key).map(<[f32]>::to_vec))
         .collect();
+    let hits: Vec<bool> = rows.iter().map(Option::is_some).collect();
+    let encode_started = stage_started.map(|t| {
+        let now = Instant::now();
+        for req in batch {
+            if let Some(c) = &req.ctx {
+                c.record(Stage::Cache, now.saturating_duration_since(t));
+            }
+        }
+        now
+    });
 
     // One forward pass over the unique missing histories.
     let mut miss_keys: Vec<&[usize]> = Vec::new();
@@ -1252,6 +1389,15 @@ fn process_batch(
         }
         for (key, &at) in &miss_index {
             cache.insert(key.to_vec(), fresh.data()[at * d..(at + 1) * d].to_vec());
+        }
+    }
+    if let Some(t) = encode_started {
+        let dur = t.elapsed();
+        for (req, &hit) in batch.iter().zip(&hits) {
+            if let Some(c) = &req.ctx {
+                c.record(Stage::Encode, dur);
+                c.set_batch_info(hit, m, plan.num_shards());
+            }
         }
     }
 
@@ -1279,9 +1425,14 @@ fn process_batch(
                 resolved.push(i);
                 stacked.extend_from_slice(r);
             }
-            None => req.slot.fill(Err(ServeError::Internal(
-                "representation row unresolved after forward pass".into(),
-            ))),
+            None => {
+                if let Some(c) = &req.ctx {
+                    c.mark_filled();
+                }
+                req.slot.fill(Err(ServeError::Internal(
+                    "representation row unresolved after forward pass".into(),
+                )));
+            }
         }
     }
     if resolved.is_empty() {
@@ -1289,10 +1440,15 @@ fn process_batch(
     }
     let ks: Vec<usize> = resolved.iter().map(|&i| batch[i].k).collect();
     let reprs = Tensor::from_vec(stacked, &[resolved.len(), d]);
-    let ranked = score_sharded(&reprs, table_t, &ks, plan);
+    let (ranked, timing) = score_sharded_timed(&reprs, table_t, &ks, plan);
 
     for (&i, items) in resolved.iter().zip(ranked) {
         let req = &batch[i];
+        if let Some(c) = &req.ctx {
+            c.record(Stage::Score, timing.score);
+            c.record(Stage::Merge, timing.merge);
+            c.mark_filled();
+        }
         req.slot.fill(
             items
                 .map(|items| ServeResponse {

@@ -68,9 +68,21 @@
 //!   resilience layer never changes a score: fault-free serving stays
 //!   bitwise identical.
 //!
+//! ## Observability
+//!
 //! Instrumentation rides on `ist-obs`: a `serve.request` span + latency
 //! histogram (p50/p95/p99 in the summary table) per request and a
-//! `serve.batch` span per forward pass.
+//! `serve.batch` span per forward pass. On top of that, every request can
+//! carry a trace context (`ist_obs::reqctx`) through the whole pipeline —
+//! queue wait, batch assembly, cache lookup, encode, sharded score, merge,
+//! reply — feeding a structured access log (`IST_SERVE_ACCESS_LOG`), a
+//! slowest-request exemplar reservoir, a live `/metrics` + `/healthz`
+//! endpoint (`IST_METRICS_ADDR`, `ist_obs::export`), and a rolling
+//! p99/error-rate [`SloMonitor`] ([`slo`], `IST_SERVE_SLO_MS` /
+//! `IST_SERVE_SLO_ERR_PCT`). All of it is bitwise invisible to scores:
+//! when off, each probe costs one relaxed atomic load, and when on it only
+//! observes — the CI serve stage enforces identical `scores_crc` either
+//! way.
 
 #![forbid(unsafe_code)]
 
@@ -80,6 +92,7 @@ pub mod error;
 pub mod fallback;
 pub mod resilience;
 pub mod shard;
+pub mod slo;
 pub mod topk;
 
 pub use cache::ReprCache;
@@ -89,5 +102,6 @@ pub use engine::{
 pub use error::ServeError;
 pub use fallback::FallbackRanker;
 pub use resilience::{BatchFault, ServeFaultPlan};
-pub use shard::{shard_latency, ShardPlan};
+pub use shard::{shard_latency, ShardPlan, ShardTiming};
+pub use slo::{SloConfig, SloMonitor, SloSnapshot};
 pub use topk::{merge_top_k, top_k, top_k_range};

@@ -105,6 +105,17 @@ impl ShardPlan {
 /// the first (lowest item range) shard that hit a non-finite score.
 pub type RowRanking = Result<Vec<Recommendation>, String>;
 
+/// Wall-clock split of one [`score_sharded_timed`] call, feeding the
+/// per-request stage breakdown (`score` = shard fan-out GEMM + per-shard
+/// top-K, `merge` = the k-way merge of the per-shard lists).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardTiming {
+    /// Shard fan-out: GEMM + per-shard bounded-heap top-K.
+    pub score: std::time::Duration,
+    /// K-way merge of the per-shard lists.
+    pub merge: std::time::Duration,
+}
+
 /// Scores every representation row in `reprs` (`[m, d]`) against the
 /// transposed item table `table_t` (`[d, num_items]`) shard by shard and
 /// returns each row's top-`ks[row]` items, best first.
@@ -123,6 +134,19 @@ pub fn score_sharded(
     ks: &[usize],
     plan: &ShardPlan,
 ) -> Vec<RowRanking> {
+    score_sharded_timed(reprs, table_t, ks, plan).0
+}
+
+/// [`score_sharded`] plus a [`ShardTiming`] wall-clock split of the
+/// fan-out and merge phases, for the request-level stage breakdown. The
+/// timing is measurement only — rankings are bitwise identical to
+/// [`score_sharded`]'s.
+pub fn score_sharded_timed(
+    reprs: &Tensor,
+    table_t: &Tensor,
+    ks: &[usize],
+    plan: &ShardPlan,
+) -> (Vec<RowRanking>, ShardTiming) {
     let m = reprs.shape()[0];
     let d = reprs.shape()[1];
     let num_items = table_t.shape()[1];
@@ -153,6 +177,7 @@ pub fn score_sharded(
     };
 
     let pool = pool::global();
+    let fanout_started = Instant::now();
     let per_shard: Vec<Vec<RowRanking>> = if plan.num_shards() > 1 && pool.threads() > 1 {
         // Slot-per-shard fan-out on the shared pool (help-while-wait, so
         // this nests safely under any caller already on the pool).
@@ -174,8 +199,10 @@ pub fn score_sharded(
     } else {
         plan.bounds().iter().map(shard_one).collect()
     };
+    let score_dur = fanout_started.elapsed();
 
-    (0..m)
+    let merge_started = Instant::now();
+    let merged = (0..m)
         .map(|r| {
             // First failing shard (lowest item range) wins, so the error a
             // caller sees is independent of execution order.
@@ -188,7 +215,14 @@ pub fn score_sharded(
             }
             Ok(merge_top_k(&lists, ks[r]))
         })
-        .collect()
+        .collect();
+    (
+        merged,
+        ShardTiming {
+            score: score_dur,
+            merge: merge_started.elapsed(),
+        },
+    )
 }
 
 /// Snapshot of the per-shard latency histogram for the serve report:

@@ -15,6 +15,7 @@
 //! isrec serve    --data data/beauty (--snapshot model.bin | --checkpoint-dir ckpts/)
 //!                [--synthetic 2000 | --requests stream.txt] [--clients 8]
 //!                [--k 10] [--report results/serve_report.json]
+//!                [--access-log access.jsonl] [--linger-ms 0]
 //! ```
 //!
 //! Every subcommand accepts `--metrics-out <path>`: telemetry (spans,
@@ -22,10 +23,14 @@
 //! `IST_METRICS=json IST_METRICS_OUT=<path>` had been set. Every subcommand
 //! also accepts `--trace-out <path>`: a chrome-trace timeline (load it at
 //! `chrome://tracing` or <https://ui.perfetto.dev>) is written there on
-//! exit, as if `IST_TRACE=<path>` had been set. `profile` runs a short
-//! profiled training session on synthetic data and emits both artifacts;
-//! `graph-dump` prints one training step's autograd tape as Graphviz DOT.
-//! See README §Observability.
+//! exit, as if `IST_TRACE=<path>` had been set. `--metrics-addr <host:port>`
+//! (or `IST_METRICS_ADDR`) starts the live `/metrics` + `/healthz` scrape
+//! endpoint — port `0` picks a free port, printed to stderr. `--access-log
+//! <path>` (or `IST_SERVE_ACCESS_LOG`) writes one JSON line per finished
+//! request with its trace id and per-stage latency breakdown. `profile`
+//! runs a short profiled training session on synthetic data and emits both
+//! artifacts; `graph-dump` prints one training step's autograd tape as
+//! Graphviz DOT. See README §Observability.
 //!
 //! `import` accepts `user,item,timestamp` (comma or tab separated) logs —
 //! the path for running the model on *real* datasets.
@@ -358,7 +363,10 @@ fn cmd_graph_dump(args: &Args) -> Result<(), String> {
 /// requests fail with typed errors (sheds, timeouts, scorer panics — the
 /// chaos gate's bread and butter) and reports them per kind instead.
 /// `--report <path>` additionally writes the machine-readable
-/// `isrec.serve_report.v3` JSON consumed by the CI serve and chaos stages.
+/// `isrec.serve_report.v4` JSON consumed by the CI serve and chaos stages
+/// (latency/batch/cache/resilience/shard blocks plus the SLO snapshot and
+/// slowest-request exemplars). `--linger-ms N` keeps the process (and its
+/// scrape endpoint) alive N ms after the report, for external scrapers.
 fn cmd_serve(args: &Args) -> Result<(), String> {
     use isrec_suite::serve::{ModelSource, ModelSpec, ScoreEngine, ServeConfig, ServeResponse};
 
@@ -586,6 +594,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         println!("typed errors: {}", detail.join(", "));
     }
     println!("scores_crc: {scores_crc:#010x}");
+    let slo = engine.slo();
+    if slo.active {
+        println!(
+            "slo: p99 {}µs vs {}ms target (latency burn {:.2}), errors {:.2}% vs {:.2}% \
+             target (error burn {:.2}) — {}",
+            slo.p99_us,
+            slo.target_ms,
+            slo.latency_burn,
+            slo.error_pct,
+            slo.target_err_pct,
+            slo.error_burn,
+            if slo.breached {
+                "BREACHED"
+            } else {
+                "within SLO"
+            }
+        );
+    }
 
     if let Some(path) = args.get("report") {
         let epoch = match stats.epoch {
@@ -601,10 +627,39 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 .collect();
             format!("{{{}}}", fields.join(", "))
         };
+        let exemplars_json = {
+            let exs = isrec_suite::obs::reqctx::exemplars();
+            let rows: Vec<String> = exs
+                .iter()
+                .map(|ex| {
+                    let stages: Vec<String> = isrec_suite::obs::reqctx::STAGE_NAMES
+                        .iter()
+                        .zip(&ex.stage_us)
+                        .map(|(name, us)| format!("\"{name}_us\": {us}"))
+                        .collect();
+                    format!(
+                        "{{\"req\": {}, \"total_us\": {}, \"outcome\": \"{}\", \
+                         \"degraded\": {}, \"hist\": {}, \"k\": {}, \"cache_hit\": {}, \
+                         \"batch\": {}, \"shards\": {}, {}}}",
+                        ex.id,
+                        ex.total_us,
+                        ex.outcome,
+                        ex.degraded,
+                        ex.history_len,
+                        ex.k,
+                        ex.cache_hit,
+                        ex.batch,
+                        ex.shards,
+                        stages.join(", ")
+                    )
+                })
+                .collect();
+            format!("[{}]", rows.join(", "))
+        };
         let json = format!(
             concat!(
                 "{{\n",
-                "  \"schema\": \"isrec.serve_report.v3\",\n",
+                "  \"schema\": \"isrec.serve_report.v4\",\n",
                 "  \"dataset\": \"{dataset}\",\n",
                 "  \"source\": \"{source}\",\n",
                 "  \"epoch\": {epoch},\n",
@@ -619,6 +674,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
                 "  \"resilience\": {{\"answered\": {answered}, \"failed\": {failed}, \"degraded_answers\": {degraded_answers}, \"shed\": {shed}, \"timed_out\": {timed_out}, \"scorer_panics\": {panics}, \"respawns\": {respawns}, \"reload_skipped\": {reload_skipped}, \"degraded\": {degraded}, \"errors\": {errors}}},\n",
                 "  \"shard\": {{\"configured\": {cfg_shards}, \"count\": {shard_count}, \"samples\": {shard_samples}, \"p50_us\": {shard_p50:.1}, \"p95_us\": {shard_p95:.1}, \"p99_us\": {shard_p99:.1}}},\n",
                 "  \"config\": {{\"max_batch\": {cfg_batch}, \"batch_timeout_us\": {cfg_timeout}, \"cache_entries\": {cfg_cache}, \"deadline_ms\": {cfg_deadline}, \"queue_cap\": {cfg_queue}, \"max_respawns\": {cfg_respawns}, \"shards\": {cfg_shards}}},\n",
+                "  \"slo\": {slo},\n",
+                "  \"exemplars\": {exemplars},\n",
                 "  \"scores_crc\": {crc}\n",
                 "}}\n"
             ),
@@ -665,6 +722,8 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             shard_p50 = shard_p50,
             shard_p95 = shard_p95,
             shard_p99 = shard_p99,
+            slo = slo.to_json(),
+            exemplars = exemplars_json,
             crc = scores_crc,
         );
         if let Some(parent) = PathBuf::from(path).parent() {
@@ -675,6 +734,12 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         }
         std::fs::write(path, json).map_err(|e| format!("write report {path}: {e}"))?;
         println!("report written to {path}");
+    }
+    // Grace window for external scrapers (the CI soak polls /metrics
+    // until the last request lands): keep the engine + endpoint up.
+    let linger: u64 = args.num("linger-ms", 0u64)?;
+    if linger > 0 {
+        std::thread::sleep(std::time::Duration::from_millis(linger));
     }
     Ok(())
 }
@@ -698,6 +763,30 @@ fn main() -> ExitCode {
     }
     if let Some(path) = args.get("trace-out") {
         isrec_suite::obs::trace::set_trace_path(path);
+    }
+    if let Some(path) = args.get("access-log") {
+        if let Err(e) = isrec_suite::obs::reqctx::set_access_log_path(path) {
+            eprintln!("error: --access-log: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // The scrape endpoint: an explicit bad --metrics-addr is a hard error,
+    // a bad IST_METRICS_ADDR only warns (a typo'd env knob should not take
+    // a soak down).
+    let endpoint = match args.get("metrics-addr") {
+        Some(addr) => Some(isrec_suite::obs::export::start(addr)),
+        None => isrec_suite::obs::export::start_from_env(),
+    };
+    match endpoint {
+        Some(Ok(bound)) => {
+            eprintln!("metrics endpoint listening on http://{bound} (/metrics, /healthz)");
+        }
+        Some(Err(e)) if args.get("metrics-addr").is_some() => {
+            eprintln!("error: --metrics-addr: {e}");
+            return ExitCode::FAILURE;
+        }
+        Some(Err(e)) => eprintln!("warning: IST_METRICS_ADDR: {e}"),
+        None => {}
     }
     let Some(cmd) = args.positional.first().map(|s| s.as_str()) else {
         eprintln!("{USAGE}");

@@ -1,0 +1,143 @@
+//! The request-level observability layer's zero-cost contract: turning on
+//! the access log, the live scrape endpoint, and the SLO monitor must not
+//! change a single bit of model output — neither the training loss stream
+//! nor served rankings (the `scores_crc` the CI serve stage checks).
+//!
+//! Ordering matters: the dark baselines run first, because starting the
+//! scrape endpoint flips the process into `Mode::Collect` for good.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+use isrec_suite::baselines::SasRec;
+use isrec_suite::data::{IntentWorld, LeaveOneOut, WorldConfig};
+use isrec_suite::isrec::{snapshot, Isrec, IsrecConfig, SequentialRecommender, TrainConfig};
+use isrec_suite::nn::Module as _;
+use isrec_suite::obs;
+use isrec_suite::serve::{ModelSource, ModelSpec, ScoreEngine, ServeConfig};
+
+/// A `Write` sink the test can read back after handing ownership to obs.
+#[derive(Clone, Default)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+fn train_once() -> Vec<f32> {
+    let ds = IntentWorld::new(WorldConfig::epinions_like().scaled(0.12)).generate(9);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let mut model = SasRec::new(16, 10, 1, 1);
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::smoke()
+    };
+    model.fit(&ds, &split, &cfg).epoch_losses
+}
+
+/// Serves a fixed request stream and fingerprints every ranked
+/// (item, score-bits) pair — the same construction as the CLI's
+/// `scores_crc`.
+fn serve_crc() -> u32 {
+    let ds = IntentWorld::new(WorldConfig::beauty_like().scaled(0.1)).generate(5);
+    let config = IsrecConfig {
+        d: 16,
+        d_prime: 4,
+        lambda: 4,
+        max_len: 8,
+        layers: 1,
+        heads: 2,
+        gcn_layers: 1,
+        ..Default::default()
+    };
+    let dir = std::env::temp_dir().join(format!("ist-obs-overhead-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let path = dir.join("model.bin");
+    let model = Isrec::new(&ds, config.clone(), 7);
+    std::fs::write(&path, snapshot::save(&model.params()).unwrap()).unwrap();
+    drop(model);
+    let spec = ModelSpec {
+        config,
+        seed: 7,
+        source: ModelSource::Snapshot(path),
+        dataset: ds,
+    };
+    let engine = ScoreEngine::start(spec, ServeConfig::default()).unwrap();
+    let ds = IntentWorld::new(WorldConfig::beauty_like().scaled(0.1)).generate(5);
+    let mut fingerprint: Vec<u8> = Vec::new();
+    for i in 0..24 {
+        let seq = &ds.sequences[i % ds.sequences.len()];
+        let resp = engine.recommend(&seq[..seq.len().min(6)], 10).unwrap();
+        for r in &resp.items {
+            fingerprint.extend_from_slice(&(r.item as u32).to_le_bytes());
+            fingerprint.extend_from_slice(&r.score.to_bits().to_le_bytes());
+        }
+    }
+    snapshot::crc32(&fingerprint)
+}
+
+#[test]
+fn full_observability_stack_is_bitwise_invisible() {
+    // Dark baselines: no access log, no endpoint, metrics off.
+    obs::set_mode(obs::Mode::Off);
+    obs::reqctx::disable_access_log();
+    let base_losses = train_once();
+    let base_crc = serve_crc();
+    assert!(!base_losses.is_empty());
+
+    // Everything on: access log into a sink, live scrape endpoint (forces
+    // Collect mode), exemplar reservoir armed.
+    let buf = SharedBuf::default();
+    obs::reqctx::set_access_log_writer(Box::new(buf.clone()));
+    obs::reqctx::reset_exemplars();
+    let addr = obs::export::start("127.0.0.1:0").expect("bind scrape endpoint");
+    assert_eq!(obs::mode(), obs::Mode::Collect);
+
+    let on_losses = train_once();
+    let on_crc = serve_crc();
+
+    assert_eq!(base_losses.len(), on_losses.len());
+    for (i, (a, b)) in base_losses.iter().zip(&on_losses).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "epoch {i}: observability perturbed the loss stream ({a} vs {b})"
+        );
+    }
+    assert_eq!(
+        base_crc, on_crc,
+        "observability perturbed served rankings (scores_crc)"
+    );
+
+    // The stack actually observed the run: access-log lines were written
+    // and a live scrape answers with the request counter.
+    let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+    assert_eq!(
+        text.lines().filter(|l| !l.trim().is_empty()).count(),
+        24,
+        "one access-log line per served request"
+    );
+    use std::io::Read as _;
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    write!(
+        stream,
+        "GET /metrics HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    assert!(
+        body.contains("serve_requests_total"),
+        "scrape missing serve_requests_total:\n{body}"
+    );
+
+    obs::reqctx::disable_access_log();
+    obs::reset();
+    obs::set_mode(obs::Mode::Off);
+}
