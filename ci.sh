@@ -14,7 +14,7 @@
 # Usage:
 #   ./ci.sh          # run every stage
 #   ./ci.sh gate     # just the tier-1 gate (build + tests)
-#   ./ci.sh fmt | clippy | bench | determinism | faults | metrics | trace | serve | chaos
+#   ./ci.sh fmt | clippy | bench | determinism | simd | faults | metrics | trace | serve | chaos
 
 set -euo pipefail
 cd "$(dirname "$0")"
@@ -77,6 +77,77 @@ run_determinism() {
     fi
     echo "losses identical across thread counts:"
     grep '^epoch' "$t1"
+}
+
+run_simd() {
+    stage "SIMD dispatch gate: per-level equivalence, loss/scores invariance, env hygiene"
+    # Kernel level: every dispatch level this host supports must be bitwise
+    # identical to scalar (simd_equivalence sweeps available_levels
+    # internally), and the full training pipeline must replay the same loss
+    # stream and serving scores at every level (simd_determinism).
+    cargo test -q --release --locked -p ist-tensor --test simd_equivalence
+    cargo test -q --release --locked --test simd_determinism
+
+    # Quickstart losses: forcing IST_SIMD=scalar must not change a bit
+    # against the auto-detected best level, and the best level must stay
+    # thread-count invariant (SIMD lanes never cross pool partitions).
+    local s1 b1 b4
+    mktemp_tracked s1; mktemp_tracked b1; mktemp_tracked b4
+    IST_SIMD=scalar IST_THREADS=1 \
+        cargo run --release --locked --example quickstart 2>"$s1" >/dev/null
+    IST_THREADS=1 cargo run --release --locked --example quickstart 2>"$b1" >/dev/null
+    IST_THREADS=4 cargo run --release --locked --example quickstart 2>"$b4" >/dev/null
+    if ! diff <(grep '^epoch' "$s1") <(grep '^epoch' "$b1"); then
+        echo "FAIL: IST_SIMD=scalar changed the quickstart losses vs the detected level" >&2
+        exit 1
+    fi
+    if ! diff <(grep '^epoch' "$b1") <(grep '^epoch' "$b4") >/dev/null; then
+        echo "FAIL: losses differ across IST_THREADS=1 vs 4 at the detected SIMD level" >&2
+        exit 1
+    fi
+    echo "quickstart losses identical: IST_SIMD=scalar vs detected, 1 vs 4 threads"
+
+    # Serving: the report's scores_crc must be bitwise identical whether
+    # scoring runs scalar or at the detected best level.
+    local work crc_scalar crc_best
+    mktempd_tracked work
+    cargo run --release --locked --bin isrec -- \
+        generate --world beauty --scale 0.25 --seed 42 --out "$work/data" >/dev/null
+    cargo run --release --locked --bin isrec -- \
+        train --data "$work/data" --snapshot "$work/model.bin" --epochs 2 --max-len 20 >/dev/null
+    IST_SIMD=scalar cargo run --release --locked --bin isrec -- \
+        serve --data "$work/data" --snapshot "$work/model.bin" \
+        --synthetic 500 --report "$work/report_scalar.json" >/dev/null
+    cargo run --release --locked --bin isrec -- \
+        serve --data "$work/data" --snapshot "$work/model.bin" \
+        --synthetic 500 --report "$work/report_best.json" >/dev/null
+    crc_scalar=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['scores_crc'])" \
+        "$work/report_scalar.json")
+    crc_best=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['scores_crc'])" \
+        "$work/report_best.json")
+    if [ "$crc_scalar" != "$crc_best" ]; then
+        echo "FAIL: serve scores_crc differs: IST_SIMD=scalar $crc_scalar vs detected $crc_best" >&2
+        exit 1
+    fi
+    echo "serve scores_crc identical under IST_SIMD=scalar and the detected level ($crc_best)"
+
+    # Env hygiene: a malformed IST_SIMD warns exactly once, falls back to
+    # the detected level, and changes nothing.
+    local glog warns
+    mktemp_tracked glog
+    IST_SIMD=garbage IST_THREADS=1 \
+        cargo run --release --locked --example quickstart 2>"$glog" >/dev/null
+    warns=$(grep -c 'malformed IST_SIMD' "$glog" || true)
+    if [ "$warns" -ne 1 ]; then
+        echo "FAIL: expected exactly one malformed-IST_SIMD warning, saw $warns" >&2
+        grep 'IST_SIMD' "$glog" >&2 || true
+        exit 1
+    fi
+    if ! diff <(grep '^epoch' "$glog") <(grep '^epoch' "$b1") >/dev/null; then
+        echo "FAIL: IST_SIMD=garbage changed the losses (must fall back to detected)" >&2
+        exit 1
+    fi
+    echo "malformed IST_SIMD warned exactly once and fell back to the detected level"
 }
 
 run_faults() {
@@ -572,6 +643,7 @@ case "${1:-all}" in
     clippy)      run_clippy ;;
     bench)       run_bench ;;
     determinism) run_determinism ;;
+    simd)        run_simd ;;
     faults)      run_faults ;;
     metrics)     run_metrics ;;
     trace)       run_trace ;;
@@ -583,6 +655,7 @@ case "${1:-all}" in
         run_clippy
         run_bench
         run_determinism
+        run_simd
         run_faults
         run_metrics
         run_trace
@@ -591,7 +664,7 @@ case "${1:-all}" in
         printf '\nci.sh: all stages passed\n'
         ;;
     *)
-        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|faults|metrics|trace|serve|chaos]" >&2
+        echo "usage: $0 [all|gate|fmt|clippy|bench|determinism|simd|faults|metrics|trace|serve|chaos]" >&2
         exit 2
         ;;
 esac

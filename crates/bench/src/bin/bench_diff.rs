@@ -13,10 +13,18 @@
 //! measured with a different warmup count, are compared but flagged — the
 //! regimes are not like-for-like. CI runs this as a soft gate (warn-only);
 //! locally the nonzero exit is the point.
+//!
+//! Dispatch levels: rows are only compared *within* the same SIMD dispatch
+//! level. A baseline row measured at a level this host does not support
+//! (e.g. an `avx512` number on an AVX2 runner) is SKIPPED, not failed; a
+//! pre-dispatch baseline row (no `dispatch` field) is paired with the
+//! fresh `scalar` row — the closest like-for-like comparison, since those
+//! baselines measured the pre-SIMD scalar kernel.
 
 use std::process::ExitCode;
 
 use ist_bench::gemm;
+use ist_tensor::simd;
 
 struct Cli {
     baseline: String,
@@ -59,17 +67,47 @@ fn run(cli: &Cli) -> Result<bool, String> {
     );
     let fresh = gemm::run_suite();
 
+    // Levels this host can re-measure; baseline rows outside the set are
+    // skipped rather than failed.
+    let supported: Vec<String> = simd::available_levels()
+        .iter()
+        .map(|l| l.name().to_string())
+        .collect();
+
     println!(
-        "{:<14} {:>5} {:>8} {:>10} {:>10} {:>8}  verdict",
-        "kernel", "size", "threads", "base", "fresh", "delta"
+        "{:<14} {:>5} {:>8} {:>8} {:>10} {:>10} {:>8}  verdict",
+        "kernel", "size", "threads", "dispatch", "base", "fresh", "delta"
     );
     let mut regressions = 0usize;
     let mut missing = 0usize;
+    let mut skipped = 0usize;
     for base in &baseline {
-        let Some(now) = fresh.iter().find(|r| r.key() == base.key()) else {
+        // Same-dispatch pairing: exact key match, except legacy rows
+        // (empty dispatch) which pair with the fresh scalar measurement.
+        let want_dispatch = if base.dispatch.is_empty() {
+            "scalar"
+        } else {
+            &base.dispatch
+        };
+        if !supported.iter().any(|l| l == want_dispatch) {
             println!(
-                "{:<14} {:>5} {:>8} {:>10.3} {:>10} {:>8}  MISSING (config no longer benchmarked)",
-                base.kernel, base.size, base.threads, base.gflops, "-", "-"
+                "{:<14} {:>5} {:>8} {:>8} {:>10.3} {:>10} {:>8}  SKIPPED (dispatch not \
+                 supported on this host)",
+                base.kernel, base.size, base.threads, base.dispatch, base.gflops, "-", "-"
+            );
+            skipped += 1;
+            continue;
+        }
+        let Some(now) = fresh.iter().find(|r| {
+            r.kernel == base.kernel
+                && r.size == base.size
+                && r.threads == base.threads
+                && r.dispatch == want_dispatch
+        }) else {
+            println!(
+                "{:<14} {:>5} {:>8} {:>8} {:>10.3} {:>10} {:>8}  MISSING (config no longer \
+                 benchmarked)",
+                base.kernel, base.size, base.threads, base.dispatch, base.gflops, "-", "-"
             );
             missing += 1;
             continue;
@@ -77,6 +115,9 @@ fn run(cli: &Cli) -> Result<bool, String> {
         let delta = now.gflops / base.gflops.max(1e-9) - 1.0;
         let regressed = delta < -cli.tolerance;
         let mut verdict = if regressed { "REGRESSED" } else { "ok" }.to_string();
+        if base.dispatch.is_empty() {
+            verdict.push_str(" (pre-dispatch baseline vs fresh scalar)");
+        }
         if base.iters == 0 {
             verdict.push_str(" (baseline has no iteration metadata)");
         } else if base.warmup != now.warmup {
@@ -86,10 +127,11 @@ fn run(cli: &Cli) -> Result<bool, String> {
             ));
         }
         println!(
-            "{:<14} {:>5} {:>8} {:>10.3} {:>10.3} {:>+7.1}%  {verdict}",
+            "{:<14} {:>5} {:>8} {:>8} {:>10.3} {:>10.3} {:>+7.1}%  {verdict}",
             base.kernel,
             base.size,
             base.threads,
+            now.dispatch,
             base.gflops,
             now.gflops,
             delta * 100.0
@@ -97,12 +139,22 @@ fn run(cli: &Cli) -> Result<bool, String> {
         regressions += regressed as usize;
     }
     for now in &fresh {
-        if !baseline.iter().any(|b| b.key() == now.key()) {
+        let covered = baseline.iter().any(|b| {
+            b.kernel == now.kernel
+                && b.size == now.size
+                && b.threads == now.threads
+                && (b.dispatch == now.dispatch
+                    || (b.dispatch.is_empty() && now.dispatch == "scalar"))
+        });
+        if !covered {
             println!(
-                "{:<14} {:>5} {:>8} {:>10} {:>10.3} {:>8}  NEW (no baseline)",
-                now.kernel, now.size, now.threads, "-", now.gflops, "-"
+                "{:<14} {:>5} {:>8} {:>8} {:>10} {:>10.3} {:>8}  NEW (no baseline)",
+                now.kernel, now.size, now.threads, now.dispatch, "-", now.gflops, "-"
             );
         }
+    }
+    if skipped > 0 {
+        eprintln!("note: {skipped} baseline row(s) skipped (dispatch level unavailable here)");
     }
     if missing > 0 {
         eprintln!("warning: {missing} baseline configuration(s) not re-measured");

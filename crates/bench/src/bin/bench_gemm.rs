@@ -21,18 +21,20 @@ fn main() {
     let rows = gemm::run_suite();
 
     println!(
-        "{:<14} {:>5} {:>8} {:>10} {:>12} {:>7}",
-        "kernel", "size", "threads", "GFLOP/s", "ms/iter", "iters"
+        "{:<14} {:>5} {:>8} {:>8} {:>10} {:>12} {:>7}",
+        "kernel", "size", "threads", "dispatch", "GFLOP/s", "ms/iter", "iters"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>5} {:>8} {:>10.3} {:>12.3} {:>7}",
-            r.kernel, r.size, r.threads, r.gflops, r.ms_per_iter, r.iters
+            "{:<14} {:>5} {:>8} {:>8} {:>10.3} {:>12.3} {:>7}",
+            r.kernel, r.size, r.threads, r.dispatch, r.gflops, r.ms_per_iter, r.iters
         );
     }
 
     // Hand-rolled JSON: the offline workspace carries no serde/format crate.
-    let mut json = String::from("{\n  \"benchmark\": \"gemm\",\n  \"results\": [\n");
+    let mut json = String::from("{\n  \"benchmark\": \"gemm\",\n  \"cpu\": ");
+    json.push_str(&gemm::cpu_to_json());
+    json.push_str(",\n  \"results\": [\n");
     json.push_str(&gemm::rows_to_json(&rows));
     json.push_str("  ],\n  \"obs\": [\n");
     let snapshot = ist_obs::snapshot_json();
@@ -45,20 +47,29 @@ fn main() {
     std::fs::write(&out_path, &json).expect("write BENCH_gemm.json");
     println!("\nwrote {out_path}");
 
-    // Regression guard for CI logs: the blocked kernel must not lose to the
-    // serial reference at the acceptance size.
-    let serial_512 = rows
-        .iter()
-        .find(|r| r.kernel == "serial_ikj" && r.size == 512)
-        .map(|r| r.gflops)
-        .unwrap_or(0.0);
-    let blocked_512 = rows
-        .iter()
-        .find(|r| r.kernel == "blocked" && r.size == 512)
-        .map(|r| r.gflops)
-        .unwrap_or(0.0);
+    // Regression guards for CI logs: the blocked kernel must not lose to
+    // the serial reference, and the best SIMD level must show its speedup
+    // over the scalar dispatch (the perf acceptance gate reads this line).
+    let best = ist_tensor::simd::detected().name();
+    let find = |kernel: &str, size: usize, dispatch: &str| {
+        rows.iter()
+            .find(|r| r.kernel == kernel && r.size == size && r.dispatch == dispatch)
+            .map(|r| r.gflops)
+            .unwrap_or(0.0)
+    };
+    let serial_512 = find("serial_ikj", 512, "scalar");
+    let blocked_512 = find("blocked", 512, best);
     println!(
-        "512x512x512: serial {serial_512:.3} GFLOP/s, blocked {blocked_512:.3} GFLOP/s ({:.2}x)",
+        "512x512x512: serial {serial_512:.3} GFLOP/s, blocked@{best} {blocked_512:.3} \
+         GFLOP/s ({:.2}x)",
         blocked_512 / serial_512.max(1e-9)
     );
+    for size in [256usize, 512] {
+        let scalar = find("blocked", size, "scalar");
+        let simd = find("blocked", size, best);
+        println!(
+            "blocked {size}^3: scalar {scalar:.3} -> {best} {simd:.3} GFLOP/s ({:.2}x)",
+            simd / scalar.max(1e-9)
+        );
+    }
 }

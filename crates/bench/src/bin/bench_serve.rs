@@ -76,12 +76,16 @@ fn main() {
     let mut rng = SeedRng::seed(7);
     let table_t = uniform(&[DIM, NUM_ITEMS], -0.5, 0.5, &mut rng);
 
+    // Serve scoring inherits the GEMM dispatch level; record the one the
+    // whole run was measured at.
+    let dispatch = ist_tensor::simd::level().name();
     let mut rows: Vec<BenchRow> = Vec::new();
     let mut push = |kernel: String, m: usize, shards: usize, ms: f64, iters: usize| {
         rows.push(BenchRow {
             kernel,
             size: m,
             threads: shards,
+            dispatch: dispatch.into(),
             // Requests served per second: batch size over seconds per call.
             gflops: m as f64 / (ms / 1e3),
             ms_per_iter: ms,

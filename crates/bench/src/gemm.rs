@@ -11,6 +11,7 @@ use std::time::Instant;
 use ist_tensor::matmul::{gemm_blocked, gemm_serial, matmul_in};
 use ist_tensor::pool::ThreadPool;
 use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::simd;
 
 /// Square problem sizes benchmarked; 512 is the acceptance-gate size.
 pub const SIZES: [usize; 3] = [128, 256, 512];
@@ -22,11 +23,14 @@ pub const WARMUP: usize = 1;
 /// One benchmark configuration's result. `warmup`/`iters` record how the
 /// number was measured, so a comparison between two files can flag rows
 /// timed under different regimes instead of silently treating them alike.
+/// `dispatch` names the SIMD level the row was measured at (empty in
+/// baselines written before the dispatch layer existed).
 #[derive(Clone, Debug, PartialEq)]
 pub struct BenchRow {
     pub kernel: String,
     pub size: usize,
     pub threads: usize,
+    pub dispatch: String,
     pub gflops: f64,
     pub ms_per_iter: f64,
     pub warmup: usize,
@@ -34,9 +38,16 @@ pub struct BenchRow {
 }
 
 impl BenchRow {
-    /// Configuration key used to match rows across runs.
-    pub fn key(&self) -> (String, usize, usize) {
-        (self.kernel.clone(), self.size, self.threads)
+    /// Configuration key used to match rows across runs. Includes the
+    /// dispatch level: an `avx2` number is never compared to a `scalar`
+    /// one.
+    pub fn key(&self) -> (String, usize, usize, String) {
+        (
+            self.kernel.clone(),
+            self.size,
+            self.threads,
+            self.dispatch.clone(),
+        )
     }
 }
 
@@ -64,48 +75,76 @@ fn gflops(n: usize, ms: f64) -> f64 {
     (2.0 * (n as f64).powi(3)) / (ms * 1e6)
 }
 
-/// Runs the full suite: serial reference, cache-blocked kernel, and the
-/// pool-dispatched path across [`THREADS`] for every size in [`SIZES`].
+/// Runs the full suite: the serial reference, the cache-blocked kernel at
+/// **every SIMD dispatch level this host supports**, the optional FMA
+/// accumulate variant, and the pool-dispatched path across [`THREADS`]
+/// (at the detected best level) for every size in [`SIZES`]. The active
+/// dispatch level and FMA mode are restored on exit.
 pub fn run_suite() -> Vec<BenchRow> {
     let mut rows: Vec<BenchRow> = Vec::new();
-    let mut push = |kernel: &str, size: usize, threads: usize, ms: f64, iters: usize| {
-        rows.push(BenchRow {
-            kernel: kernel.into(),
-            size,
-            threads,
-            gflops: gflops(size, ms),
-            ms_per_iter: ms,
-            warmup: WARMUP,
-            iters,
-        });
-    };
+    let mut push =
+        |kernel: &str, size: usize, threads: usize, dispatch: &str, ms: f64, iters: usize| {
+            rows.push(BenchRow {
+                kernel: kernel.into(),
+                size,
+                threads,
+                dispatch: dispatch.into(),
+                gflops: gflops(size, ms),
+                ms_per_iter: ms,
+                warmup: WARMUP,
+                iters,
+            });
+        };
 
+    let prev_level = simd::level();
+    let prev_fma = simd::fma_mode();
+    let best = simd::detected();
     for &n in &SIZES {
         let mut rng = SeedRng::seed(42);
         let a = uniform(&[n, n], -1.0, 1.0, &mut rng);
         let b = uniform(&[n, n], -1.0, 1.0, &mut rng);
         let mut out = vec![0.0f32; n * n];
 
+        // The i-k-j reference has no dispatched inner loop; it is scalar
+        // code at every level.
         let (ms, iters) = time_ms(|| {
             out.iter_mut().for_each(|v| *v = 0.0);
             gemm_serial(a.data(), b.data(), &mut out, n, n, n);
         });
-        push("serial_ikj", n, 1, ms, iters);
+        push("serial_ikj", n, 1, "scalar", ms, iters);
 
-        let (ms, iters) = time_ms(|| {
-            out.iter_mut().for_each(|v| *v = 0.0);
-            gemm_blocked(a.data(), b.data(), &mut out, n, n, n);
-        });
-        push("blocked", n, 1, ms, iters);
+        for level in simd::available_levels() {
+            simd::set_level(level);
+            let (ms, iters) = time_ms(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                gemm_blocked(a.data(), b.data(), &mut out, n, n, n);
+            });
+            push("blocked", n, 1, level.name(), ms, iters);
+        }
+
+        // The opt-in fused-accumulate variant, measured at the best level
+        // when the hardware has FMA (different rounding — reported, never
+        // part of determinism gates).
+        simd::set_level(best);
+        if simd::set_fma(true) {
+            let (ms, iters) = time_ms(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                gemm_blocked(a.data(), b.data(), &mut out, n, n, n);
+            });
+            push("blocked_fma", n, 1, best.name(), ms, iters);
+        }
+        simd::set_fma(false);
 
         for &t in &THREADS {
             let pool = ThreadPool::new(t);
             let (ms, iters) = time_ms(|| {
                 std::hint::black_box(matmul_in(&pool, &a, &b));
             });
-            push("blocked_pool", n, t, ms, iters);
+            push("blocked_pool", n, t, best.name(), ms, iters);
         }
     }
+    simd::set_level(prev_level);
+    simd::set_fma(prev_fma);
     rows
 }
 
@@ -114,11 +153,12 @@ pub fn rows_to_json(rows: &[BenchRow]) -> String {
     let mut json = String::new();
     for (i, r) in rows.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"size\": {}, \"threads\": {}, \
+            "    {{\"kernel\": \"{}\", \"size\": {}, \"threads\": {}, \"dispatch\": \"{}\", \
              \"gflops\": {:.4}, \"ms_per_iter\": {:.4}, \"warmup\": {}, \"iters\": {}}}{}\n",
             r.kernel,
             r.size,
             r.threads,
+            r.dispatch,
             r.gflops,
             r.ms_per_iter,
             r.warmup,
@@ -127,6 +167,23 @@ pub fn rows_to_json(rows: &[BenchRow]) -> String {
         ));
     }
     json
+}
+
+/// Serialises the host CPU's dispatch capabilities as the `"cpu"` JSON
+/// object, so a baseline records which machine produced it.
+pub fn cpu_to_json() -> String {
+    let levels: Vec<String> = simd::available_levels()
+        .iter()
+        .map(|l| format!("\"{l}\""))
+        .collect();
+    format!(
+        "{{\"detected\": \"{}\", \"active\": \"{}\", \"fma_available\": {}, \
+         \"levels\": [{}]}}",
+        simd::detected(),
+        simd::level(),
+        simd::hardware_fma(simd::detected()),
+        levels.join(", ")
+    )
 }
 
 fn str_field(obj: &str, key: &str) -> Result<String, String> {
@@ -192,6 +249,9 @@ pub fn parse_rows(json: &str) -> Result<Vec<BenchRow>, String> {
             kernel: str_field(obj, "kernel")?,
             size: num_field(obj, "size")? as usize,
             threads: num_field(obj, "threads")? as usize,
+            // Empty for baselines written before the SIMD dispatch layer;
+            // `bench_diff` pairs those against fresh scalar rows.
+            dispatch: str_field(obj, "dispatch").unwrap_or_default(),
             gflops: num_field(obj, "gflops")?,
             ms_per_iter: num_field(obj, "ms_per_iter")?,
             warmup: num_field(obj, "warmup").unwrap_or(0.0) as usize,
@@ -214,6 +274,7 @@ mod tests {
                 kernel: "serial_ikj".into(),
                 size: 128,
                 threads: 1,
+                dispatch: "scalar".into(),
                 gflops: 16.2832,
                 ms_per_iter: 0.2576,
                 warmup: 1,
@@ -223,6 +284,7 @@ mod tests {
                 kernel: "blocked_pool".into(),
                 size: 512,
                 threads: 4,
+                dispatch: "avx2".into(),
                 gflops: 21.2854,
                 ms_per_iter: 12.6112,
                 warmup: 1,
@@ -260,8 +322,17 @@ mod tests {
         let rows = parse_rows(doc).unwrap();
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].kernel, "blocked");
+        assert_eq!(rows[0].dispatch, "", "legacy rows carry no dispatch");
         assert_eq!(rows[0].warmup, 0);
         assert_eq!(rows[0].iters, 0);
+    }
+
+    #[test]
+    fn cpu_metadata_names_the_active_level() {
+        let json = cpu_to_json();
+        assert!(json.contains("\"detected\""));
+        assert!(json.contains(&format!("\"{}\"", simd::detected())));
+        assert!(json.contains("\"levels\": [\"scalar\""));
     }
 
     #[test]

@@ -159,23 +159,26 @@ impl Adam {
             .zip(self.v.iter_mut())
         {
             p.update(|value, grad| {
-                let (b1, b2, eps, wd, lr) =
-                    (self.beta1, self.beta2, self.eps, self.weight_decay, self.lr);
-                for (((val, &g), mi), vi) in value
-                    .data_mut()
-                    .iter_mut()
-                    .zip(grad.data())
-                    .zip(m.data_mut().iter_mut())
-                    .zip(v.data_mut().iter_mut())
-                {
-                    *mi = b1 * *mi + (1.0 - b1) * g;
-                    *vi = b2 * *vi + (1.0 - b2) * g * g;
-                    let mut upd = (*mi / bc1) / ((*vi / bc2).sqrt() + eps);
-                    if wd > 0.0 {
-                        upd += wd * *val;
-                    }
-                    *val -= lr * upd;
-                }
+                // Runtime-dispatched SIMD update; per-element operation
+                // order matches the historical scalar loop exactly, so the
+                // optimizer trajectory is bitwise unchanged (and identical
+                // at every `IST_SIMD` level — parameters are independent
+                // lanes).
+                ist_tensor::simd::adam_step(
+                    value.data_mut(),
+                    grad.data(),
+                    m.data_mut(),
+                    v.data_mut(),
+                    ist_tensor::simd::AdamConsts {
+                        b1: self.beta1,
+                        b2: self.beta2,
+                        bc1,
+                        bc2,
+                        eps: self.eps,
+                        wd: self.weight_decay,
+                        lr: self.lr,
+                    },
+                );
             });
             p.zero_grad();
         }

@@ -12,6 +12,8 @@
 //! * element-wise arithmetic and transcendental maps ([`ops`]),
 //! * cache-blocked 2-D matrix multiplication and batched 3-D `bmm`,
 //!   parallelised over a shared persistent worker pool ([`matmul`], [`pool`]),
+//! * runtime-dispatched SIMD micro-kernels backing the hot paths, bitwise
+//!   identical across dispatch levels ([`simd`]),
 //! * reductions, softmax/log-softmax, norms and argmax ([`reduce`]),
 //! * NaN-safe total-order comparison helpers for score ranking ([`order`]),
 //! * row gather/scatter used for embedding lookups ([`tensor`]),
@@ -22,7 +24,8 @@
 //! serial counterparts.
 
 // `deny` rather than `forbid`: `pool` carries one audited `unsafe` block
-// (see the SAFETY comment there) behind a module-level allow.
+// and `simd` holds the feature-gated `std::arch` intrinsics, each behind a
+// module-level allow with SAFETY comments.
 #![deny(unsafe_code)]
 
 pub mod matmul;
@@ -33,6 +36,7 @@ pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 
 pub use shape::{broadcast_shapes, strides_for, Shape};

@@ -2,13 +2,16 @@
 //! shared worker pool, matrix–vector products, and batched 3-D `bmm`.
 //!
 //! The production kernel ([`gemm_blocked`]) tiles over N (`NC` columns) and
-//! K (`KC` rows of `b`), packing each `b` panel into a contiguous buffer so
-//! the innermost loops stream over cache-resident memory, and processes
-//! four rows of `a` per pass (a packed-B micro-kernel LLVM auto-vectorises).
-//! All-zero rows of `a` — padded sequence positions, which are common in
-//! this workload — are detected once and skipped. The unblocked `i-k-j`
-//! kernel ([`gemm_serial`]) is kept as the reference implementation for
-//! tests and benchmarks.
+//! K (`KC` rows of `b`), packing each `b` panel into this thread's grow-only
+//! workspace ([`crate::pool::with_workspace`] — zero allocations once the
+//! buffers reach their high-water size) so the innermost loops stream over
+//! cache-resident memory, and processes four rows of `a` per pass through
+//! the runtime-dispatched SIMD micro-kernel ([`crate::simd::gemm_kernel`];
+//! bitwise identical output at every dispatch level). All-zero rows of `a`
+//! — padded sequence positions, which are common in this workload — are
+//! detected once and skipped. The unblocked `i-k-j` kernel
+//! ([`gemm_serial`]) is kept as the reference implementation for tests and
+//! benchmarks.
 //!
 //! Parallelism: row blocks of the output are dealt to the persistent pool
 //! ([`crate::pool`]); no threads are spawned per call. Every output element
@@ -20,6 +23,7 @@
 //! always loses to the single-threaded blocked kernel.
 
 use crate::pool;
+use crate::simd::{self, PanelGeom, NR};
 use crate::Tensor;
 
 /// Aggregate GEMM telemetry: total multiply-add work feeds a GFLOP/s rate
@@ -34,16 +38,25 @@ static GEMM_OUT_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.gemm.all
 static BMM_OUT_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.bmm.alloc_bytes");
 static MATVEC_OUT_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.matvec.alloc_bytes");
 
+/// Packing-workspace telemetry: GEMM calls whose panel/row-zero scratch was
+/// served entirely from this thread's grow-only workspace (no allocation),
+/// and the bytes the workspaces did grow by. In steady state `pack_reuse`
+/// tracks the GEMM call count while `pack_bytes` stays flat — the
+/// regression test in `crates/tensor/tests/workspace_alloc.rs` pins this.
+static GEMM_PACK_REUSE: ist_obs::Counter = ist_obs::Counter::new("tensor.gemm.pack_reuse");
+static GEMM_PACK_BYTES: ist_obs::Counter = ist_obs::Counter::new("tensor.gemm.pack_bytes");
+
 /// Columns of `b` packed per panel (`NC · KC` floats ≈ 64 KiB, L2-resident).
 const NC: usize = 64;
 /// Rows of `b` (depth) packed per panel.
 const KC: usize = 256;
-/// Rows of `a` processed per micro-kernel pass.
-const MR: usize = 4;
-/// Output columns per register tile: the `MR × NR` accumulator lives in
-/// locals for the whole `kc` depth, so `out` is touched once per panel
-/// instead of once per depth step.
-const NR: usize = 16;
+
+/// Snapshot of the packing-workspace counters as
+/// `(pack_reuse, pack_bytes)` — test hook for the zero-alloc steady-state
+/// guarantee. Counters only advance while `ist-obs` metrics are enabled.
+pub fn pack_counters() -> (u64, u64) {
+    (GEMM_PACK_REUSE.get(), GEMM_PACK_BYTES.get())
+}
 
 /// Reference serial `i-k-j` GEMM kernel: `out[m×n] += a[m×k] · b[k×n]`.
 ///
@@ -131,134 +144,78 @@ fn gemm_blocked_view(
         return;
     }
 
-    // Padded sequence positions show up as all-zero rows of `a`; find them
-    // once (an O(m·k) scan against O(m·n·k) work) and skip them everywhere.
-    let row_zero: Vec<bool> = (0..m)
-        .map(|i| a[i * k..(i + 1) * k].iter().all(|&v| v == 0.0))
-        .collect();
+    // Resolve the SIMD micro-kernel once per call, not per panel.
+    let kernel = simd::gemm_kernel();
 
-    // Panel layout: `nblocks` NR-wide column blocks, each stored as
-    // `[p][NR]` (depth-major), then one `tail`-wide block as `[p][tail]`.
-    // The micro-kernel then streams each block contiguously.
-    let mut panel = [0.0f32; NC * KC];
-    for jj in (0..n).step_by(NC) {
-        let nc = NC.min(n - jj);
-        let nblocks = nc / NR;
-        let tail = nc % NR;
-        for kk in (0..k).step_by(KC) {
-            let kc = KC.min(k - kk);
-            for jb in 0..nblocks {
-                let dst = &mut panel[jb * kc * NR..(jb + 1) * kc * NR];
-                for p in 0..kc {
-                    let col = (kk + p) * b_stride + b_col0 + jj + jb * NR;
-                    dst[p * NR..(p + 1) * NR].copy_from_slice(&b[col..col + NR]);
-                }
-            }
-            if tail > 0 {
-                let dst = &mut panel[nblocks * kc * NR..];
-                for p in 0..kc {
-                    let col = (kk + p) * b_stride + b_col0 + jj + nblocks * NR;
-                    dst[p * tail..(p + 1) * tail].copy_from_slice(&b[col..col + tail]);
-                }
-            }
+    pool::with_workspace(|ws| {
+        // Grow-only scratch: once `panel` and `row_zero` hit their
+        // high-water sizes, steady-state calls allocate nothing.
+        let mut grew = 0u64;
+        if ws.panel.len() < NC * KC {
+            grew += ((NC * KC - ws.panel.len()) * std::mem::size_of::<f32>()) as u64;
+            ws.panel.resize(NC * KC, 0.0);
+        }
+        ws.row_zero.clear();
+        if ws.row_zero.capacity() < m {
+            grew += (m - ws.row_zero.capacity()) as u64;
+            ws.row_zero.reserve(m);
+        }
+        if grew > 0 {
+            GEMM_PACK_BYTES.add(grew);
+        } else {
+            GEMM_PACK_REUSE.add(1);
+        }
 
-            let mut i = 0;
-            // Micro-kernel: an MR×NR accumulator tile held in locals across
-            // the whole depth, flushed to `out` once per panel.
-            while i + MR <= m {
-                if row_zero[i..i + MR].iter().all(|&z| z) {
-                    i += MR;
-                    continue;
-                }
-                let a0 = &a[i * k + kk..i * k + kk + kc];
-                let a1 = &a[(i + 1) * k + kk..(i + 1) * k + kk + kc];
-                let a2 = &a[(i + 2) * k + kk..(i + 2) * k + kk + kc];
-                let a3 = &a[(i + 3) * k + kk..(i + 3) * k + kk + kc];
+        // Padded sequence positions show up as all-zero rows of `a`; find
+        // them once (an O(m·k) scan against O(m·n·k) work) and skip them
+        // everywhere.
+        ws.row_zero
+            .extend((0..m).map(|i| a[i * k..(i + 1) * k].iter().all(|&v| v == 0.0)));
+
+        // Panel layout: `nblocks` NR-wide column blocks, each stored as
+        // `[p][NR]` (depth-major), then one `tail`-wide block as
+        // `[p][tail]`. The micro-kernel then streams each block
+        // contiguously.
+        let panel = &mut ws.panel[..NC * KC];
+        for jj in (0..n).step_by(NC) {
+            let nc = NC.min(n - jj);
+            let nblocks = nc / NR;
+            let tail = nc % NR;
+            for kk in (0..k).step_by(KC) {
+                let kc = KC.min(k - kk);
                 for jb in 0..nblocks {
-                    let blk = &panel[jb * kc * NR..(jb + 1) * kc * NR];
-                    let mut acc = [[0.0f32; NR]; MR];
+                    let dst = &mut panel[jb * kc * NR..(jb + 1) * kc * NR];
                     for p in 0..kc {
-                        let bv: &[f32; NR] = blk[p * NR..(p + 1) * NR].try_into().unwrap();
-                        let xs = [a0[p], a1[p], a2[p], a3[p]];
-                        for (accr, x) in acc.iter_mut().zip(xs) {
-                            for (s, &bvj) in accr.iter_mut().zip(bv) {
-                                *s += x * bvj;
-                            }
-                        }
-                    }
-                    for (r, accr) in acc.iter().enumerate() {
-                        let o = (i + r) * n + jj + jb * NR;
-                        for (slot, &s) in out[o..o + NR].iter_mut().zip(accr) {
-                            *slot += s;
-                        }
+                        let col = (kk + p) * b_stride + b_col0 + jj + jb * NR;
+                        dst[p * NR..(p + 1) * NR].copy_from_slice(&b[col..col + NR]);
                     }
                 }
                 if tail > 0 {
-                    let blk = &panel[nblocks * kc * NR..nblocks * kc * NR + kc * tail];
-                    let mut acc = [[0.0f32; NR]; MR];
+                    let dst = &mut panel[nblocks * kc * NR..];
                     for p in 0..kc {
-                        let bv = &blk[p * tail..(p + 1) * tail];
-                        let xs = [a0[p], a1[p], a2[p], a3[p]];
-                        for (accr, x) in acc.iter_mut().zip(xs) {
-                            for (s, &bvj) in accr[..tail].iter_mut().zip(bv) {
-                                *s += x * bvj;
-                            }
-                        }
-                    }
-                    for (r, accr) in acc.iter().enumerate() {
-                        let o = (i + r) * n + jj + nblocks * NR;
-                        for (slot, &s) in out[o..o + tail].iter_mut().zip(&accr[..tail]) {
-                            *slot += s;
-                        }
+                        let col = (kk + p) * b_stride + b_col0 + jj + nblocks * NR;
+                        dst[p * tail..(p + 1) * tail].copy_from_slice(&b[col..col + tail]);
                     }
                 }
-                i += MR;
-            }
-            // Remainder rows, one at a time with the per-element zero skip.
-            while i < m {
-                if row_zero[i] {
-                    i += 1;
-                    continue;
-                }
-                let a_row = &a[i * k + kk..i * k + kk + kc];
-                for jb in 0..nblocks {
-                    let blk = &panel[jb * kc * NR..(jb + 1) * kc * NR];
-                    let mut acc = [0.0f32; NR];
-                    for (p, &x) in a_row.iter().enumerate() {
-                        if x == 0.0 {
-                            continue;
-                        }
-                        let bv: &[f32; NR] = blk[p * NR..(p + 1) * NR].try_into().unwrap();
-                        for (s, &bvj) in acc.iter_mut().zip(bv) {
-                            *s += x * bvj;
-                        }
-                    }
-                    let o = i * n + jj + jb * NR;
-                    for (slot, &s) in out[o..o + NR].iter_mut().zip(&acc) {
-                        *slot += s;
-                    }
-                }
-                if tail > 0 {
-                    let blk = &panel[nblocks * kc * NR..nblocks * kc * NR + kc * tail];
-                    let mut acc = [0.0f32; NR];
-                    for (p, &x) in a_row.iter().enumerate() {
-                        if x == 0.0 {
-                            continue;
-                        }
-                        let bv = &blk[p * tail..(p + 1) * tail];
-                        for (s, &bvj) in acc[..tail].iter_mut().zip(bv) {
-                            *s += x * bvj;
-                        }
-                    }
-                    let o = i * n + jj + nblocks * NR;
-                    for (slot, &s) in out[o..o + tail].iter_mut().zip(&acc[..tail]) {
-                        *slot += s;
-                    }
-                }
-                i += 1;
+                kernel.call(
+                    a,
+                    &ws.row_zero,
+                    panel,
+                    out,
+                    PanelGeom {
+                        m,
+                        k,
+                        n,
+                        kk,
+                        kc,
+                        jj,
+                        nblocks,
+                        tail,
+                    },
+                );
             }
         }
-    }
+    });
 }
 
 /// `a[m×k] · b[k×n] → [m×n]` on the global pool.
@@ -332,7 +289,7 @@ pub fn matvec(a: &Tensor, x: &Tensor) -> Tensor {
     let dot_rows = |row0: usize, out_chunk: &mut [f32]| {
         for (i, slot) in out_chunk.iter_mut().enumerate() {
             let row = &a_data[(row0 + i) * k..(row0 + i + 1) * k];
-            *slot = row.iter().zip(x_data).map(|(&p, &q)| p * q).sum();
+            *slot = simd::dot(row, x_data);
         }
     };
     if pool::should_parallelize(m * k, pool::gemm_grain()) {

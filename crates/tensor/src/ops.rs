@@ -2,30 +2,50 @@
 //!
 //! Large maps are dealt to the shared worker pool ([`crate::pool`]) in
 //! contiguous chunks. Every element is computed independently, so the
-//! result is identical for every pool size.
+//! result is identical for every pool size. The arithmetic entry points
+//! (`add`/`sub`/`mul`/`div`, `axpy`, `scale`, …) route same-shape operands
+//! through the runtime-dispatched SIMD kernels in [`crate::simd`].
 
 use crate::pool;
 use crate::shape::{broadcast_shapes, broadcast_source_index};
+use crate::simd;
 use crate::Tensor;
+
+/// The single chunked-fill entry point for elementwise output buffers:
+/// picks the pooled or serial path once, then hands `(base_index, chunk)`
+/// pairs to `kernel`. The partition depends only on the length and pool
+/// size gates — and since every kernel is elementwise, results are
+/// identical however the buffer is split.
+fn fill_chunks(out: &mut [f32], kernel: &(impl Fn(usize, &mut [f32]) + Sync)) {
+    if pool::should_parallelize(out.len(), pool::elem_grain()) {
+        let chunk = out.len().div_ceil(pool::global().threads()).max(1);
+        pool::parallel_chunks_mut(out, chunk, |ci, o| kernel(ci * chunk, o));
+    } else {
+        kernel(0, out);
+    }
+}
+
+/// Same-shape binary arithmetic through one SIMD slice kernel. Shape
+/// equality is the caller's check; lengths then agree by construction.
+fn binary_same_shape(a: &Tensor, b: &Tensor, kernel: fn(&[f32], &[f32], &mut [f32])) -> Tensor {
+    let (xs, ys) = (a.data(), b.data());
+    let mut data = vec![0.0f32; xs.len()];
+    fill_chunks(&mut data, &|base, out| {
+        let end = base + out.len();
+        kernel(&xs[base..end], &ys[base..end], out);
+    });
+    Tensor::from_vec(data, a.shape())
+}
 
 /// Applies `f` to every element, producing a new tensor.
 pub fn map(t: &Tensor, f: impl Fn(f32) -> f32 + Sync) -> Tensor {
     let src = t.data();
     let mut data = vec![0.0f32; src.len()];
-    if pool::should_parallelize(src.len(), pool::elem_grain()) {
-        let chunk = src.len().div_ceil(pool::global().threads()).max(1);
-        pool::parallel_chunks_mut(&mut data, chunk, |ci, out| {
-            let base = ci * chunk;
-            let len = out.len();
-            for (o, &v) in out.iter_mut().zip(&src[base..base + len]) {
-                *o = f(v);
-            }
-        });
-    } else {
-        for (o, &v) in data.iter_mut().zip(src) {
+    fill_chunks(&mut data, &|base, out| {
+        for (o, &v) in out.iter_mut().zip(&src[base..]) {
             *o = f(v);
         }
-    }
+    });
     Tensor::from_vec(data, t.shape())
 }
 
@@ -37,19 +57,11 @@ pub fn zip_map(a: &Tensor, b: &Tensor, f: impl Fn(f32, f32) -> f32 + Sync) -> Te
         // Hot path: identical shapes need no index arithmetic.
         let (xs, ys) = (a.data(), b.data());
         let mut data = vec![0.0f32; xs.len()];
-        if pool::should_parallelize(xs.len(), pool::elem_grain()) {
-            let chunk = xs.len().div_ceil(pool::global().threads()).max(1);
-            pool::parallel_chunks_mut(&mut data, chunk, |ci, out| {
-                let base = ci * chunk;
-                for (i, o) in out.iter_mut().enumerate() {
-                    *o = f(xs[base + i], ys[base + i]);
-                }
-            });
-        } else {
-            for (i, o) in data.iter_mut().enumerate() {
-                *o = f(xs[i], ys[i]);
+        fill_chunks(&mut data, &|base, out| {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = f(xs[base + i], ys[base + i]);
             }
-        }
+        });
         return Tensor::from_vec(data, a.shape());
     }
     // Fast paths for the two broadcast patterns every layer hits: a
@@ -134,48 +146,66 @@ fn lastdim1_broadcast(
 
 /// `a + b` with broadcasting.
 pub fn add(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape() == b.shape() {
+        return binary_same_shape(a, b, simd::vadd);
+    }
     zip_map(a, b, |x, y| x + y)
 }
 
 /// `a - b` with broadcasting.
 pub fn sub(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape() == b.shape() {
+        return binary_same_shape(a, b, simd::vsub);
+    }
     zip_map(a, b, |x, y| x - y)
 }
 
 /// Element-wise `a * b` with broadcasting (Hadamard product).
 pub fn mul(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape() == b.shape() {
+        return binary_same_shape(a, b, simd::vmul);
+    }
     zip_map(a, b, |x, y| x * y)
 }
 
 /// Element-wise `a / b` with broadcasting.
 pub fn div(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape() == b.shape() {
+        return binary_same_shape(a, b, simd::vdiv);
+    }
     zip_map(a, b, |x, y| x / y)
 }
 
 /// `t + s` for a scalar `s`.
 pub fn add_scalar(t: &Tensor, s: f32) -> Tensor {
-    map(t, |v| v + s)
+    let src = t.data();
+    let mut data = vec![0.0f32; src.len()];
+    fill_chunks(&mut data, &|base, out| {
+        simd::add_scalar_into(&src[base..base + out.len()], s, out);
+    });
+    Tensor::from_vec(data, t.shape())
 }
 
 /// `t * s` for a scalar `s`.
 pub fn scale(t: &Tensor, s: f32) -> Tensor {
-    map(t, |v| v * s)
+    let src = t.data();
+    let mut data = vec![0.0f32; src.len()];
+    fill_chunks(&mut data, &|base, out| {
+        simd::scale_into(&src[base..base + out.len()], s, out);
+    });
+    Tensor::from_vec(data, t.shape())
 }
 
 /// In-place `a += b` (same shape only; the hot accumulation path).
 pub fn add_assign(a: &mut Tensor, b: &Tensor) {
     assert_eq!(a.shape(), b.shape(), "add_assign requires identical shapes");
-    for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
-        *x += y;
-    }
+    simd::add_assign(a.data_mut(), b.data());
 }
 
 /// In-place `a += s * b` (axpy).
 pub fn axpy(a: &mut Tensor, s: f32, b: &Tensor) {
     assert_eq!(a.shape(), b.shape(), "axpy requires identical shapes");
-    for (x, y) in a.data_mut().iter_mut().zip(b.data().iter()) {
-        *x += s * y;
-    }
+    simd::axpy(a.data_mut(), s, b.data());
 }
 
 /// Rectified linear unit.

@@ -268,6 +268,41 @@ pub fn should_parallelize(work: usize, grain: usize) -> bool {
     threads > 1 && work >= grain.saturating_mul(threads)
 }
 
+/// Grow-only per-thread scratch for GEMM panel packing. Buffers keep their
+/// high-water capacity across calls, so steady-state GEMM performs zero
+/// packing allocations (the `tensor.gemm.pack_reuse` counter in
+/// [`crate::matmul`] proves it).
+#[derive(Default)]
+pub struct Workspace {
+    /// Packed B-panel scratch (`NC·KC` floats at full size).
+    pub panel: Vec<f32>,
+    /// Per-row all-zero flags for the current `a`.
+    pub row_zero: Vec<bool>,
+}
+
+thread_local! {
+    /// One workspace per thread — pool workers and the helping caller each
+    /// get their own, so no synchronisation is needed. `Cell` + take/put
+    /// (rather than `RefCell` + borrow) degrades gracefully if a kernel
+    /// ever re-enters `with_workspace` on the same thread: the nested call
+    /// sees `None` and works with a fresh (then discarded) workspace
+    /// instead of panicking.
+    static WORKSPACE: std::cell::Cell<Option<Box<Workspace>>> = const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with this thread's grow-only [`Workspace`], creating it on
+/// first use. The workspace is returned to the slot afterwards (even if a
+/// nested use took it, the outer one wins — the inner allocation is simply
+/// dropped), so capacity persists for the life of the thread.
+pub fn with_workspace<R>(f: impl FnOnce(&mut Workspace) -> R) -> R {
+    let mut ws = WORKSPACE
+        .with(|slot| slot.take())
+        .unwrap_or_else(|| Box::new(Workspace::default()));
+    let out = f(&mut ws);
+    WORKSPACE.with(|slot| slot.set(Some(ws)));
+    out
+}
+
 /// Splits `data` into `chunk_len`-sized chunks and processes them on the
 /// global pool: `f(chunk_index, chunk)`. The partition depends only on
 /// `chunk_len`, never on the pool size, so callers that pick a fixed

@@ -9,6 +9,7 @@
 //! result is bitwise identical for every pool size.
 
 use crate::pool;
+use crate::simd;
 use crate::Tensor;
 
 /// Aggregate timing for the two row-reduction hot paths (env-gated; see
@@ -91,7 +92,7 @@ pub fn sum_lastdim(t: &Tensor) -> Tensor {
     for_row_blocks(&mut out, 1, t.len(), |r0, slots| {
         for (i, slot) in slots.iter_mut().enumerate() {
             let r = r0 + i;
-            *slot = data[r * n..(r + 1) * n].iter().sum();
+            *slot = simd::row_sum(&data[r * n..(r + 1) * n]);
         }
     });
     let mut shape = t.shape().to_vec();
@@ -116,17 +117,15 @@ pub fn softmax_lastdim(t: &Tensor) -> Tensor {
         for (i, dst) in chunk.chunks_mut(n).enumerate() {
             let r = r0 + i;
             let row = &data[r * n..(r + 1) * n];
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
+            // Lane-structured max/sum and SIMD normalisation; the exp fill
+            // itself stays scalar (`exp` has no vector counterpart with
+            // identical rounding).
+            let m = simd::row_max(row);
             for (d, &v) in dst.iter_mut().zip(row) {
-                let e = (v - m).exp();
-                *d = e;
-                z += e;
+                *d = (v - m).exp();
             }
-            let inv = 1.0 / z;
-            for d in dst.iter_mut() {
-                *d *= inv;
-            }
+            let inv = 1.0 / simd::row_sum(dst);
+            simd::scale_in_place(dst, inv);
         }
     });
     Tensor::from_vec(out, t.shape())

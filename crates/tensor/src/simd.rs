@@ -1,0 +1,1239 @@
+//! Explicit SIMD kernel layer with runtime CPU-feature dispatch.
+//!
+//! Every f32 hot path in the workspace (the GEMM micro-kernel, elementwise
+//! maps, row reductions, the Adam update) funnels through this module. A
+//! dispatch [`Level`] is detected once per process (`std::arch` feature
+//! probes, cached in an atomic) and selects between four implementations of
+//! each kernel:
+//!
+//! * `scalar` — portable lane-by-lane Rust, the reference semantics;
+//! * `sse2`   — 128-bit vectors (x86-64 baseline, always available there);
+//! * `avx2`   — 256-bit vectors;
+//! * `avx512` — 512-bit vectors (`avx512f`).
+//!
+//! ## The determinism argument
+//!
+//! Every kernel here is written so that **all dispatch levels produce
+//! bitwise-identical results**. Two rules make that possible:
+//!
+//! 1. *Vertical* kernels (GEMM, add/mul/axpy/scale, Adam) map vector lanes
+//!    to **independent output elements** — in the GEMM micro-kernel, lanes
+//!    are distinct output *columns* of the packed-B `NR` block. Each
+//!    element's operation sequence (and therefore its rounding) is the same
+//!    at every width; vectorisation only changes how many independent
+//!    elements advance per instruction.
+//! 2. *Horizontal* kernels (row sum/max, dot) fix the accumulation
+//!    *structure* — eight independent lane partials over `chunks_exact(8)`,
+//!    combined in lane order, then a sequential tail — and every level
+//!    implements exactly that structure. The scalar level emulates the
+//!    eight lanes with an array; wider levels never use more than eight
+//!    partials.
+//!
+//! The one intentional exception is FMA: fused multiply-add skips the
+//! intermediate rounding of `mul` + `add`, so it is **opt-in** via
+//! `IST_SIMD_FMA=1`, applies only to the GEMM micro-kernel, and is excluded
+//! from every determinism gate (CI runs it under ULP-bounded tolerance
+//! tests only).
+//!
+//! ## Knobs
+//!
+//! * `IST_SIMD=scalar|sse2|avx2|avx512` — force a dispatch level (testing /
+//!   benchmarking). Requests above what the CPU supports are clamped to the
+//!   detected level with a one-time warning; malformed values warn once and
+//!   fall back to the detected level.
+//! * `IST_SIMD_FMA=1` — enable the fused-accumulate GEMM micro-kernel on
+//!   `avx2` (when `fma` is present) and `avx512` levels. Off by default.
+
+// The only module in `ist-tensor` allowed to use `unsafe`: `std::arch`
+// intrinsics and `#[target_feature]` wrappers. Every unsafe block is a
+// feature-gated intrinsic call guarded by runtime detection in `level()`.
+#![allow(unsafe_code)]
+
+use std::fmt;
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Rows of `a` processed per GEMM micro-kernel pass. Shared with the
+/// packing loops in [`crate::matmul`]. Identical at every dispatch level:
+/// the `m % MR` remainder rows take the (zero-skipping) single-row path,
+/// and which rows those are must not depend on the level.
+pub const MR: usize = 4;
+/// Output columns per GEMM register tile — one packed-B block, i.e. two
+/// f32x8 lanes (or four f32x4 / one f32x16, depending on the level).
+pub const NR: usize = 16;
+
+/// SIMD dispatch level, ordered from narrowest to widest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Portable scalar lane emulation (the reference semantics).
+    Scalar = 0,
+    /// 128-bit SSE2 (the x86-64 baseline).
+    Sse2 = 1,
+    /// 256-bit AVX2.
+    Avx2 = 2,
+    /// 512-bit AVX-512F.
+    Avx512 = 3,
+}
+
+impl Level {
+    /// The knob/report spelling of this level.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Sse2 => "sse2",
+            Level::Avx2 => "avx2",
+            Level::Avx512 => "avx512",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Sse2,
+            2 => Level::Avx2,
+            3 => Level::Avx512,
+            _ => Level::Scalar,
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Level {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Level, String> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Level::Scalar),
+            "sse2" => Ok(Level::Sse2),
+            "avx2" => Ok(Level::Avx2),
+            "avx512" => Ok(Level::Avx512),
+            other => Err(format!("unknown SIMD level {other:?}")),
+        }
+    }
+}
+
+/// Best level the running CPU supports (feature probes run once).
+pub fn detected() -> Level {
+    static DETECTED: OnceLock<Level> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if is_x86_feature_detected!("avx512f") {
+                Level::Avx512
+            } else if is_x86_feature_detected!("avx2") {
+                Level::Avx2
+            } else {
+                // SSE2 is part of the x86-64 baseline.
+                Level::Sse2
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            Level::Scalar
+        }
+    })
+}
+
+/// True when the CPU has fused multiply-add for `level` (reporting /
+/// benchmarking; [`fma_mode`] is the switch the kernels consult).
+pub fn hardware_fma(level: Level) -> bool {
+    fma_available(level)
+}
+
+/// True when the CPU has fused multiply-add for the active level.
+fn fma_available(level: Level) -> bool {
+    match level {
+        Level::Scalar | Level::Sse2 => false,
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx2 => is_x86_feature_detected!("fma"),
+        // `avx512f` includes fused multiply-add.
+        #[cfg(target_arch = "x86_64")]
+        Level::Avx512 => true,
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// Every level this host can run, narrowest first (always starts with
+/// `scalar`, always ends with [`detected`]).
+pub fn available_levels() -> Vec<Level> {
+    let det = detected();
+    [Level::Scalar, Level::Sse2, Level::Avx2, Level::Avx512]
+        .into_iter()
+        .filter(|&l| l <= det)
+        .collect()
+}
+
+const LEVEL_UNSET: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+static FMA_MODE: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// `IST_SIMD` resolution, run once per process: parse (malformed values
+/// warn once via the shared knob machinery), then clamp to the detected
+/// level (unsupported requests warn once too).
+fn env_level() -> Level {
+    static ENV: OnceLock<Level> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let det = detected();
+        let req: Level = ist_obs::env::parse_or("IST_SIMD", det);
+        if req > det {
+            eprintln!("warning: IST_SIMD={req} is not supported by this CPU; using {det}");
+            det
+        } else {
+            req
+        }
+    })
+}
+
+/// The active dispatch level (env override, else detected; cached).
+pub fn level() -> Level {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v != LEVEL_UNSET {
+        return Level::from_u8(v);
+    }
+    let l = env_level();
+    // Benign race with `set_level`: last store wins either way.
+    let _ = LEVEL.compare_exchange(LEVEL_UNSET, l as u8, Ordering::Relaxed, Ordering::Relaxed);
+    Level::from_u8(LEVEL.load(Ordering::Relaxed))
+}
+
+/// Forces a dispatch level (bench/test hook; production code configures
+/// via `IST_SIMD`). Requests above the detected level are clamped; returns
+/// the level actually in effect.
+pub fn set_level(level: Level) -> Level {
+    let effective = level.min(detected());
+    LEVEL.store(effective as u8, Ordering::Relaxed);
+    effective
+}
+
+/// True when the opt-in FMA GEMM micro-kernel is active: `IST_SIMD_FMA=1`
+/// (or [`set_fma`]) *and* the current level has fused multiply-add.
+pub fn fma_mode() -> bool {
+    let v = FMA_MODE.load(Ordering::Relaxed);
+    let want = if v != LEVEL_UNSET {
+        v != 0
+    } else {
+        let on = ist_obs::env::u64_or("IST_SIMD_FMA", 0) != 0;
+        let _ =
+            FMA_MODE.compare_exchange(LEVEL_UNSET, on as u8, Ordering::Relaxed, Ordering::Relaxed);
+        FMA_MODE.load(Ordering::Relaxed) != 0
+    };
+    want && fma_available(level())
+}
+
+/// Switches the opt-in FMA accumulate mode (bench/test hook). Returns the
+/// mode actually in effect (false when the level has no FMA).
+pub fn set_fma(on: bool) -> bool {
+    FMA_MODE.store(on as u8, Ordering::Relaxed);
+    fma_mode()
+}
+
+// ---------------------------------------------------------------------------
+// 8-lane f32 vector abstraction (elementwise + lane-structured reductions).
+// ---------------------------------------------------------------------------
+
+/// Eight f32 lanes. Implementations must be *semantically identical* per
+/// lane: same operation, same rounding, same NaN behaviour — the scalar
+/// impl is the specification, the SIMD impls are transcriptions.
+trait V8: Copy {
+    fn splat(x: f32) -> Self;
+    /// Loads lanes from `s[..8]`.
+    fn load(s: &[f32]) -> Self;
+    /// Stores lanes into `s[..8]`.
+    fn store(self, s: &mut [f32]);
+    fn add(self, o: Self) -> Self;
+    fn sub(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    fn div(self, o: Self) -> Self;
+    fn sqrt(self) -> Self;
+    /// Per-lane `if self > o { self } else { o }` — the `maxps` semantics
+    /// (new operand first): NaN lanes in `self` never win, NaN lanes in
+    /// `o` are kept.
+    fn pick_greater(self, o: Self) -> Self;
+    fn to_array(self) -> [f32; 8];
+}
+
+/// The reference lane semantics: plain scalar ops on an array.
+#[derive(Clone, Copy)]
+struct ScalarV([f32; 8]);
+
+impl V8 for ScalarV {
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        ScalarV([x; 8])
+    }
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self {
+        ScalarV(s[..8].try_into().unwrap())
+    }
+    #[inline(always)]
+    fn store(self, s: &mut [f32]) {
+        s[..8].copy_from_slice(&self.0);
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        ScalarV(std::array::from_fn(|i| self.0[i] + o.0[i]))
+    }
+    #[inline(always)]
+    fn sub(self, o: Self) -> Self {
+        ScalarV(std::array::from_fn(|i| self.0[i] - o.0[i]))
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        ScalarV(std::array::from_fn(|i| self.0[i] * o.0[i]))
+    }
+    #[inline(always)]
+    fn div(self, o: Self) -> Self {
+        ScalarV(std::array::from_fn(|i| self.0[i] / o.0[i]))
+    }
+    #[inline(always)]
+    fn sqrt(self) -> Self {
+        ScalarV(std::array::from_fn(|i| self.0[i].sqrt()))
+    }
+    #[inline(always)]
+    fn pick_greater(self, o: Self) -> Self {
+        ScalarV(std::array::from_fn(|i| {
+            if self.0[i] > o.0[i] {
+                self.0[i]
+            } else {
+                o.0[i]
+            }
+        }))
+    }
+    #[inline(always)]
+    fn to_array(self) -> [f32; 8] {
+        self.0
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! SIMD transcriptions of the scalar lane semantics. Intrinsic calls
+    //! are `unsafe` only because of the feature requirement; callers reach
+    //! these types exclusively through `#[target_feature]` wrappers picked
+    //! by `level()`, which never exceeds the detected feature set.
+    use super::V8;
+    use std::arch::x86_64::*;
+
+    /// Two SSE2 registers (x86-64 baseline).
+    #[derive(Clone, Copy)]
+    pub(super) struct Sse2V(__m128, __m128);
+
+    impl V8 for Sse2V {
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            unsafe { Sse2V(_mm_set1_ps(x), _mm_set1_ps(x)) }
+        }
+        #[inline(always)]
+        fn load(s: &[f32]) -> Self {
+            debug_assert!(s.len() >= 8);
+            unsafe { Sse2V(_mm_loadu_ps(s.as_ptr()), _mm_loadu_ps(s.as_ptr().add(4))) }
+        }
+        #[inline(always)]
+        fn store(self, s: &mut [f32]) {
+            debug_assert!(s.len() >= 8);
+            unsafe {
+                _mm_storeu_ps(s.as_mut_ptr(), self.0);
+                _mm_storeu_ps(s.as_mut_ptr().add(4), self.1);
+            }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Sse2V(_mm_add_ps(self.0, o.0), _mm_add_ps(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            unsafe { Sse2V(_mm_sub_ps(self.0, o.0), _mm_sub_ps(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Sse2V(_mm_mul_ps(self.0, o.0), _mm_mul_ps(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            unsafe { Sse2V(_mm_div_ps(self.0, o.0), _mm_div_ps(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            unsafe { Sse2V(_mm_sqrt_ps(self.0), _mm_sqrt_ps(self.1)) }
+        }
+        #[inline(always)]
+        fn pick_greater(self, o: Self) -> Self {
+            // `maxps(a, b)` is `a > b ? a : b` per lane.
+            unsafe { Sse2V(_mm_max_ps(self.0, o.0), _mm_max_ps(self.1, o.1)) }
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f32; 8] {
+            let mut out = [0.0f32; 8];
+            self.store(&mut out);
+            out
+        }
+    }
+
+    /// One AVX2 register (also serves the `avx512` level for 8-lane work;
+    /// the lane *structure* of reductions is fixed at 8 by contract).
+    #[derive(Clone, Copy)]
+    pub(super) struct Avx2V(__m256);
+
+    impl V8 for Avx2V {
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            unsafe { Avx2V(_mm256_set1_ps(x)) }
+        }
+        #[inline(always)]
+        fn load(s: &[f32]) -> Self {
+            debug_assert!(s.len() >= 8);
+            unsafe { Avx2V(_mm256_loadu_ps(s.as_ptr())) }
+        }
+        #[inline(always)]
+        fn store(self, s: &mut [f32]) {
+            debug_assert!(s.len() >= 8);
+            unsafe { _mm256_storeu_ps(s.as_mut_ptr(), self.0) }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Avx2V(_mm256_add_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn sub(self, o: Self) -> Self {
+            unsafe { Avx2V(_mm256_sub_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Avx2V(_mm256_mul_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn div(self, o: Self) -> Self {
+            unsafe { Avx2V(_mm256_div_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn sqrt(self) -> Self {
+            unsafe { Avx2V(_mm256_sqrt_ps(self.0)) }
+        }
+        #[inline(always)]
+        fn pick_greater(self, o: Self) -> Self {
+            unsafe { Avx2V(_mm256_max_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn to_array(self) -> [f32; 8] {
+            let mut out = [0.0f32; 8];
+            self.store(&mut out);
+            out
+        }
+    }
+}
+
+/// Generates the runtime-dispatched front door for a generic kernel body:
+/// `avx2`/`avx512` levels run the AVX2 transcription, `sse2` the SSE2 one,
+/// `scalar` (and non-x86-64 builds) the reference lanes.
+macro_rules! dispatch8 {
+    ($body:ident => $(#[$doc:meta])* $vis:vis fn $name:ident($($arg:ident: $ty:ty),* $(,)?) $(-> $ret:ty)?) => {
+        $(#[$doc])*
+        $vis fn $name($($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            {
+                #[target_feature(enable = "avx2")]
+                unsafe fn avx2($($arg: $ty),*) $(-> $ret)? {
+                    $body::<x86::Avx2V>($($arg),*)
+                }
+                #[target_feature(enable = "sse2")]
+                unsafe fn sse2($($arg: $ty),*) $(-> $ret)? {
+                    $body::<x86::Sse2V>($($arg),*)
+                }
+                match level() {
+                    // SAFETY: `level()` is clamped to `detected()`, so the
+                    // required CPU features are present.
+                    Level::Avx2 | Level::Avx512 => return unsafe { avx2($($arg),*) },
+                    Level::Sse2 => return unsafe { sse2($($arg),*) },
+                    Level::Scalar => {}
+                }
+            }
+            $body::<ScalarV>($($arg),*)
+        }
+    };
+}
+
+#[inline(always)]
+fn vadd_body<V: V8>(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let (main, tail) = split8(out.len());
+    for i in (0..main).step_by(8) {
+        V::load(&a[i..]).add(V::load(&b[i..])).store(&mut out[i..]);
+    }
+    for i in tail {
+        out[i] = a[i] + b[i];
+    }
+}
+
+#[inline(always)]
+fn vsub_body<V: V8>(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let (main, tail) = split8(out.len());
+    for i in (0..main).step_by(8) {
+        V::load(&a[i..]).sub(V::load(&b[i..])).store(&mut out[i..]);
+    }
+    for i in tail {
+        out[i] = a[i] - b[i];
+    }
+}
+
+#[inline(always)]
+fn vmul_body<V: V8>(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let (main, tail) = split8(out.len());
+    for i in (0..main).step_by(8) {
+        V::load(&a[i..]).mul(V::load(&b[i..])).store(&mut out[i..]);
+    }
+    for i in tail {
+        out[i] = a[i] * b[i];
+    }
+}
+
+#[inline(always)]
+fn vdiv_body<V: V8>(a: &[f32], b: &[f32], out: &mut [f32]) {
+    let (main, tail) = split8(out.len());
+    for i in (0..main).step_by(8) {
+        V::load(&a[i..]).div(V::load(&b[i..])).store(&mut out[i..]);
+    }
+    for i in tail {
+        out[i] = a[i] / b[i];
+    }
+}
+
+#[inline(always)]
+fn axpy_body<V: V8>(y: &mut [f32], s: f32, x: &[f32]) {
+    let (main, tail) = split8(y.len());
+    let sv = V::splat(s);
+    for i in (0..main).step_by(8) {
+        V::load(&y[i..])
+            .add(sv.mul(V::load(&x[i..])))
+            .store(&mut y[i..]);
+    }
+    for i in tail {
+        y[i] += s * x[i];
+    }
+}
+
+#[inline(always)]
+fn add_assign_body<V: V8>(y: &mut [f32], x: &[f32]) {
+    let (main, tail) = split8(y.len());
+    for i in (0..main).step_by(8) {
+        V::load(&y[i..]).add(V::load(&x[i..])).store(&mut y[i..]);
+    }
+    for i in tail {
+        y[i] += x[i];
+    }
+}
+
+#[inline(always)]
+fn scale_into_body<V: V8>(x: &[f32], s: f32, out: &mut [f32]) {
+    let (main, tail) = split8(out.len());
+    let sv = V::splat(s);
+    for i in (0..main).step_by(8) {
+        V::load(&x[i..]).mul(sv).store(&mut out[i..]);
+    }
+    for i in tail {
+        out[i] = x[i] * s;
+    }
+}
+
+#[inline(always)]
+fn scale_in_place_body<V: V8>(y: &mut [f32], s: f32) {
+    let (main, tail) = split8(y.len());
+    let sv = V::splat(s);
+    for i in (0..main).step_by(8) {
+        V::load(&y[i..]).mul(sv).store(&mut y[i..]);
+    }
+    for i in tail {
+        y[i] *= s;
+    }
+}
+
+#[inline(always)]
+fn add_scalar_into_body<V: V8>(x: &[f32], s: f32, out: &mut [f32]) {
+    let (main, tail) = split8(out.len());
+    let sv = V::splat(s);
+    for i in (0..main).step_by(8) {
+        V::load(&x[i..]).add(sv).store(&mut out[i..]);
+    }
+    for i in tail {
+        out[i] = x[i] + s;
+    }
+}
+
+#[inline(always)]
+fn row_sum_body<V: V8>(x: &[f32]) -> f32 {
+    let (main, tail) = split8(x.len());
+    let mut acc = V::splat(0.0);
+    for i in (0..main).step_by(8) {
+        acc = acc.add(V::load(&x[i..]));
+    }
+    let lanes = acc.to_array();
+    let mut s = lanes[0];
+    for &l in &lanes[1..] {
+        s += l;
+    }
+    for i in tail {
+        s += x[i];
+    }
+    s
+}
+
+#[inline(always)]
+fn row_max_body<V: V8>(x: &[f32]) -> f32 {
+    let (main, tail) = split8(x.len());
+    let mut acc = V::splat(f32::NEG_INFINITY);
+    for i in (0..main).step_by(8) {
+        acc = V::load(&x[i..]).pick_greater(acc);
+    }
+    let lanes = acc.to_array();
+    let mut m = lanes[0];
+    for &l in &lanes[1..] {
+        if l > m {
+            m = l;
+        }
+    }
+    for i in tail {
+        if x[i] > m {
+            m = x[i];
+        }
+    }
+    m
+}
+
+#[inline(always)]
+fn dot_body<V: V8>(a: &[f32], b: &[f32]) -> f32 {
+    let (main, tail) = split8(a.len().min(b.len()));
+    let mut acc = V::splat(0.0);
+    for i in (0..main).step_by(8) {
+        acc = acc.add(V::load(&a[i..]).mul(V::load(&b[i..])));
+    }
+    let lanes = acc.to_array();
+    let mut s = lanes[0];
+    for &l in &lanes[1..] {
+        s += l;
+    }
+    for i in tail {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Adam hyper-state for [`adam_step`], precomputed once per optimizer step.
+#[derive(Clone, Copy, Debug)]
+pub struct AdamConsts {
+    /// First-moment decay β₁.
+    pub b1: f32,
+    /// Second-moment decay β₂.
+    pub b2: f32,
+    /// Bias correction `1 - β₁ᵗ`.
+    pub bc1: f32,
+    /// Bias correction `1 - β₂ᵗ`.
+    pub bc2: f32,
+    /// Denominator stabiliser ε.
+    pub eps: f32,
+    /// Decoupled weight decay (0 disables the term).
+    pub wd: f32,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+#[inline(always)]
+fn adam_body<V: V8>(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamConsts) {
+    let (main, tail) = split8(value.len());
+    let (b1, b2) = (V::splat(c.b1), V::splat(c.b2));
+    let (omb1, omb2) = (V::splat(1.0 - c.b1), V::splat(1.0 - c.b2));
+    let (bc1, bc2) = (V::splat(c.bc1), V::splat(c.bc2));
+    let (eps, wd, lr) = (V::splat(c.eps), V::splat(c.wd), V::splat(c.lr));
+    for i in (0..main).step_by(8) {
+        let g = V::load(&grad[i..]);
+        // Same per-element operation order as the scalar tail below — lanes
+        // are independent parameters, so the update is bitwise identical at
+        // every dispatch level.
+        let mi = b1.mul(V::load(&m[i..])).add(omb1.mul(g));
+        let vi = b2.mul(V::load(&v[i..])).add(omb2.mul(g).mul(g));
+        let mut upd = mi.div(bc1).div(vi.div(bc2).sqrt().add(eps));
+        if c.wd > 0.0 {
+            upd = upd.add(wd.mul(V::load(&value[i..])));
+        }
+        let val = V::load(&value[i..]).sub(lr.mul(upd));
+        mi.store(&mut m[i..]);
+        vi.store(&mut v[i..]);
+        val.store(&mut value[i..]);
+    }
+    for i in tail {
+        let g = grad[i];
+        m[i] = c.b1 * m[i] + (1.0 - c.b1) * g;
+        v[i] = c.b2 * v[i] + (1.0 - c.b2) * g * g;
+        let mut upd = (m[i] / c.bc1) / ((v[i] / c.bc2).sqrt() + c.eps);
+        if c.wd > 0.0 {
+            upd += c.wd * value[i];
+        }
+        value[i] -= c.lr * upd;
+    }
+}
+
+/// `(main, tail_range)`: the longest multiple-of-8 prefix and the indices
+/// after it.
+#[inline(always)]
+fn split8(n: usize) -> (usize, std::ops::Range<usize>) {
+    let main = n - n % 8;
+    (main, main..n)
+}
+
+dispatch8!(vadd_body =>
+    /// `out[i] = a[i] + b[i]` (same length, validated by the caller).
+    pub fn vadd(a: &[f32], b: &[f32], out: &mut [f32]));
+dispatch8!(vsub_body =>
+    /// `out[i] = a[i] - b[i]`.
+    pub fn vsub(a: &[f32], b: &[f32], out: &mut [f32]));
+dispatch8!(vmul_body =>
+    /// `out[i] = a[i] * b[i]`.
+    pub fn vmul(a: &[f32], b: &[f32], out: &mut [f32]));
+dispatch8!(vdiv_body =>
+    /// `out[i] = a[i] / b[i]`.
+    pub fn vdiv(a: &[f32], b: &[f32], out: &mut [f32]));
+dispatch8!(axpy_body =>
+    /// `y[i] += s * x[i]`.
+    pub fn axpy(y: &mut [f32], s: f32, x: &[f32]));
+dispatch8!(add_assign_body =>
+    /// `y[i] += x[i]`.
+    pub fn add_assign(y: &mut [f32], x: &[f32]));
+dispatch8!(scale_into_body =>
+    /// `out[i] = x[i] * s`.
+    pub fn scale_into(x: &[f32], s: f32, out: &mut [f32]));
+dispatch8!(scale_in_place_body =>
+    /// `y[i] *= s`.
+    pub fn scale_in_place(y: &mut [f32], s: f32));
+dispatch8!(add_scalar_into_body =>
+    /// `out[i] = x[i] + s`.
+    pub fn add_scalar_into(x: &[f32], s: f32, out: &mut [f32]));
+dispatch8!(row_sum_body =>
+    /// Lane-structured sum: eight in-order partials over `chunks_exact(8)`
+    /// combined in lane order, then a sequential tail. Identical bits at
+    /// every dispatch level; reduces to a plain sequential sum for
+    /// `x.len() < 8`.
+    pub fn row_sum(x: &[f32]) -> f32);
+dispatch8!(row_max_body =>
+    /// Lane-structured max with `maxps` pick semantics (`new > acc` wins,
+    /// NaN never wins, `-∞` identity). Identical bits at every level.
+    pub fn row_max(x: &[f32]) -> f32);
+dispatch8!(dot_body =>
+    /// Lane-structured dot product (same partial structure as [`row_sum`]).
+    pub fn dot(a: &[f32], b: &[f32]) -> f32);
+
+/// One Adam update over a parameter's flat buffers; `value`, `grad`, `m`
+/// and `v` must share a length. Same operation order per element at every
+/// dispatch level (and as the pre-SIMD scalar loop), so optimizer
+/// trajectories are bitwise stable across levels.
+pub fn adam_step(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamConsts) {
+    assert!(
+        value.len() == grad.len() && value.len() == m.len() && value.len() == v.len(),
+        "adam_step buffers disagree: value {} grad {} m {} v {}",
+        value.len(),
+        grad.len(),
+        m.len(),
+        v.len()
+    );
+    adam_step_dispatch(value, grad, m, v, c);
+}
+
+dispatch8!(adam_body =>
+    fn adam_step_dispatch(value: &mut [f32], grad: &[f32], m: &mut [f32], v: &mut [f32], c: AdamConsts));
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernel: one packed panel of B against MR-row blocks of A.
+// ---------------------------------------------------------------------------
+
+/// Geometry of one packed-panel micro-kernel invocation (see
+/// [`crate::matmul`] for the packing layout).
+#[derive(Clone, Copy, Debug)]
+pub struct PanelGeom {
+    /// Rows of `a` / `out`.
+    pub m: usize,
+    /// Full depth of `a` (row stride).
+    pub k: usize,
+    /// Columns of `out` (row stride).
+    pub n: usize,
+    /// First depth index covered by this panel.
+    pub kk: usize,
+    /// Depth of this panel (≤ KC).
+    pub kc: usize,
+    /// First output column covered by this panel.
+    pub jj: usize,
+    /// Number of full NR-wide column blocks in the panel.
+    pub nblocks: usize,
+    /// Columns in the final partial block (`< NR`, 0 if none).
+    pub tail: usize,
+}
+
+/// A register tile covering the NR output columns of one packed block.
+/// Lanes map to *independent output columns*, so mul/add accumulation is
+/// bitwise identical to the scalar reference at every width.
+trait ColBlock: Copy {
+    fn zero() -> Self;
+    fn splat(x: f32) -> Self;
+    /// Loads `s[..NR]`.
+    fn load(s: &[f32]) -> Self;
+    fn add(self, o: Self) -> Self;
+    fn mul(self, o: Self) -> Self;
+    /// `self * b + acc` fused (single rounding) — only reached in the
+    /// opt-in FMA mode.
+    fn fma(self, b: Self, acc: Self) -> Self;
+    /// `out[j] += lane j` for `j < NR`.
+    fn accum_into(self, out: &mut [f32]);
+}
+
+#[derive(Clone, Copy)]
+struct ScalarBlock([f32; NR]);
+
+impl ColBlock for ScalarBlock {
+    #[inline(always)]
+    fn zero() -> Self {
+        ScalarBlock([0.0; NR])
+    }
+    #[inline(always)]
+    fn splat(x: f32) -> Self {
+        ScalarBlock([x; NR])
+    }
+    #[inline(always)]
+    fn load(s: &[f32]) -> Self {
+        ScalarBlock(s[..NR].try_into().unwrap())
+    }
+    #[inline(always)]
+    fn add(self, o: Self) -> Self {
+        ScalarBlock(std::array::from_fn(|i| self.0[i] + o.0[i]))
+    }
+    #[inline(always)]
+    fn mul(self, o: Self) -> Self {
+        ScalarBlock(std::array::from_fn(|i| self.0[i] * o.0[i]))
+    }
+    #[inline(always)]
+    fn fma(self, b: Self, acc: Self) -> Self {
+        ScalarBlock(std::array::from_fn(|i| self.0[i].mul_add(b.0[i], acc.0[i])))
+    }
+    #[inline(always)]
+    fn accum_into(self, out: &mut [f32]) {
+        for (slot, &s) in out[..NR].iter_mut().zip(&self.0) {
+            *slot += s;
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_gemm {
+    //! x86-64 register tiles for the NR=16 column block. Same SAFETY story
+    //! as the 8-lane types: only reached through feature-gated wrappers.
+    use super::{ColBlock, NR};
+    use std::arch::x86_64::*;
+
+    #[derive(Clone, Copy)]
+    pub(super) struct Sse2Block([__m128; 4]);
+
+    impl ColBlock for Sse2Block {
+        #[inline(always)]
+        fn zero() -> Self {
+            unsafe { Sse2Block([_mm_setzero_ps(); 4]) }
+        }
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            unsafe { Sse2Block([_mm_set1_ps(x); 4]) }
+        }
+        #[inline(always)]
+        fn load(s: &[f32]) -> Self {
+            debug_assert!(s.len() >= NR);
+            unsafe {
+                Sse2Block([
+                    _mm_loadu_ps(s.as_ptr()),
+                    _mm_loadu_ps(s.as_ptr().add(4)),
+                    _mm_loadu_ps(s.as_ptr().add(8)),
+                    _mm_loadu_ps(s.as_ptr().add(12)),
+                ])
+            }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Sse2Block(std::array::from_fn(|i| _mm_add_ps(self.0[i], o.0[i]))) }
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Sse2Block(std::array::from_fn(|i| _mm_mul_ps(self.0[i], o.0[i]))) }
+        }
+        #[inline(always)]
+        fn fma(self, b: Self, acc: Self) -> Self {
+            // SSE2 has no FMA; never selected in FMA mode.
+            self.mul(b).add(acc)
+        }
+        #[inline(always)]
+        fn accum_into(self, out: &mut [f32]) {
+            debug_assert!(out.len() >= NR);
+            unsafe {
+                for (i, v) in self.0.iter().enumerate() {
+                    let p = out.as_mut_ptr().add(4 * i);
+                    _mm_storeu_ps(p, _mm_add_ps(_mm_loadu_ps(p), *v));
+                }
+            }
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    pub(super) struct Avx2Block([__m256; 2]);
+
+    impl ColBlock for Avx2Block {
+        #[inline(always)]
+        fn zero() -> Self {
+            unsafe { Avx2Block([_mm256_setzero_ps(); 2]) }
+        }
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            unsafe { Avx2Block([_mm256_set1_ps(x); 2]) }
+        }
+        #[inline(always)]
+        fn load(s: &[f32]) -> Self {
+            debug_assert!(s.len() >= NR);
+            unsafe {
+                Avx2Block([
+                    _mm256_loadu_ps(s.as_ptr()),
+                    _mm256_loadu_ps(s.as_ptr().add(8)),
+                ])
+            }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe {
+                Avx2Block([
+                    _mm256_add_ps(self.0[0], o.0[0]),
+                    _mm256_add_ps(self.0[1], o.0[1]),
+                ])
+            }
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe {
+                Avx2Block([
+                    _mm256_mul_ps(self.0[0], o.0[0]),
+                    _mm256_mul_ps(self.0[1], o.0[1]),
+                ])
+            }
+        }
+        #[inline(always)]
+        fn fma(self, b: Self, acc: Self) -> Self {
+            unsafe {
+                Avx2Block([
+                    _mm256_fmadd_ps(self.0[0], b.0[0], acc.0[0]),
+                    _mm256_fmadd_ps(self.0[1], b.0[1], acc.0[1]),
+                ])
+            }
+        }
+        #[inline(always)]
+        fn accum_into(self, out: &mut [f32]) {
+            debug_assert!(out.len() >= NR);
+            unsafe {
+                let p = out.as_mut_ptr();
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), self.0[0]));
+                let p = p.add(8);
+                _mm256_storeu_ps(p, _mm256_add_ps(_mm256_loadu_ps(p), self.0[1]));
+            }
+        }
+    }
+
+    #[derive(Clone, Copy)]
+    pub(super) struct Avx512Block(__m512);
+
+    impl ColBlock for Avx512Block {
+        #[inline(always)]
+        fn zero() -> Self {
+            unsafe { Avx512Block(_mm512_setzero_ps()) }
+        }
+        #[inline(always)]
+        fn splat(x: f32) -> Self {
+            unsafe { Avx512Block(_mm512_set1_ps(x)) }
+        }
+        #[inline(always)]
+        fn load(s: &[f32]) -> Self {
+            debug_assert!(s.len() >= NR);
+            unsafe { Avx512Block(_mm512_loadu_ps(s.as_ptr())) }
+        }
+        #[inline(always)]
+        fn add(self, o: Self) -> Self {
+            unsafe { Avx512Block(_mm512_add_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn mul(self, o: Self) -> Self {
+            unsafe { Avx512Block(_mm512_mul_ps(self.0, o.0)) }
+        }
+        #[inline(always)]
+        fn fma(self, b: Self, acc: Self) -> Self {
+            unsafe { Avx512Block(_mm512_fmadd_ps(self.0, b.0, acc.0)) }
+        }
+        #[inline(always)]
+        fn accum_into(self, out: &mut [f32]) {
+            debug_assert!(out.len() >= NR);
+            unsafe {
+                let p = out.as_mut_ptr();
+                _mm512_storeu_ps(p, _mm512_add_ps(_mm512_loadu_ps(p), self.0));
+            }
+        }
+    }
+}
+
+/// Computes one packed panel's contribution to `out`. Ports the blocked
+/// kernel's micro-loop verbatim: the MR×NR register tile is held across
+/// the whole panel depth, `m % MR` remainder rows take a single-row path
+/// with a per-element zero skip, and the `tail` partial block stays scalar
+/// at every level (identical bits by construction). `FMA` fuses the
+/// accumulate (opt-in; different rounding).
+#[inline(always)]
+fn gemm_panel_body<C: ColBlock, const FMA: bool>(
+    a: &[f32],
+    row_zero: &[bool],
+    panel: &[f32],
+    out: &mut [f32],
+    g: PanelGeom,
+) {
+    let PanelGeom {
+        m,
+        k,
+        n,
+        kk,
+        kc,
+        jj,
+        nblocks,
+        tail,
+    } = g;
+    let mut i = 0;
+    // Micro-kernel: an MR×NR accumulator tile held in registers across the
+    // whole depth, flushed to `out` once per panel.
+    while i + MR <= m {
+        if row_zero[i..i + MR].iter().all(|&z| z) {
+            i += MR;
+            continue;
+        }
+        let a0 = &a[i * k + kk..i * k + kk + kc];
+        let a1 = &a[(i + 1) * k + kk..(i + 1) * k + kk + kc];
+        let a2 = &a[(i + 2) * k + kk..(i + 2) * k + kk + kc];
+        let a3 = &a[(i + 3) * k + kk..(i + 3) * k + kk + kc];
+        for jb in 0..nblocks {
+            let blk = &panel[jb * kc * NR..(jb + 1) * kc * NR];
+            let mut acc = [C::zero(); MR];
+            for p in 0..kc {
+                let bv = C::load(&blk[p * NR..]);
+                let xs = [a0[p], a1[p], a2[p], a3[p]];
+                for (accr, x) in acc.iter_mut().zip(xs) {
+                    *accr = if FMA {
+                        C::splat(x).fma(bv, *accr)
+                    } else {
+                        accr.add(C::splat(x).mul(bv))
+                    };
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                accr.accum_into(&mut out[(i + r) * n + jj + jb * NR..]);
+            }
+        }
+        if tail > 0 {
+            let blk = &panel[nblocks * kc * NR..nblocks * kc * NR + kc * tail];
+            let mut acc = [[0.0f32; NR]; MR];
+            for p in 0..kc {
+                let bv = &blk[p * tail..(p + 1) * tail];
+                let xs = [a0[p], a1[p], a2[p], a3[p]];
+                for (accr, x) in acc.iter_mut().zip(xs) {
+                    for (s, &bvj) in accr[..tail].iter_mut().zip(bv) {
+                        *s += x * bvj;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let o = (i + r) * n + jj + nblocks * NR;
+                for (slot, &s) in out[o..o + tail].iter_mut().zip(&accr[..tail]) {
+                    *slot += s;
+                }
+            }
+        }
+        i += MR;
+    }
+    // Remainder rows, one at a time with the per-element zero skip.
+    while i < m {
+        if row_zero[i] {
+            i += 1;
+            continue;
+        }
+        let a_row = &a[i * k + kk..i * k + kk + kc];
+        for jb in 0..nblocks {
+            let blk = &panel[jb * kc * NR..(jb + 1) * kc * NR];
+            let mut acc = C::zero();
+            for (p, &x) in a_row.iter().enumerate() {
+                if x == 0.0 {
+                    continue;
+                }
+                let bv = C::load(&blk[p * NR..]);
+                acc = if FMA {
+                    C::splat(x).fma(bv, acc)
+                } else {
+                    acc.add(C::splat(x).mul(bv))
+                };
+            }
+            acc.accum_into(&mut out[i * n + jj + jb * NR..]);
+        }
+        if tail > 0 {
+            let blk = &panel[nblocks * kc * NR..nblocks * kc * NR + kc * tail];
+            let mut acc = [0.0f32; NR];
+            for (p, &x) in a_row.iter().enumerate() {
+                if x == 0.0 {
+                    continue;
+                }
+                let bv = &blk[p * tail..(p + 1) * tail];
+                for (s, &bvj) in acc[..tail].iter_mut().zip(bv) {
+                    *s += x * bvj;
+                }
+            }
+            let o = i * n + jj + nblocks * NR;
+            for (slot, &s) in out[o..o + tail].iter_mut().zip(&acc[..tail]) {
+                *slot += s;
+            }
+        }
+        i += 1;
+    }
+}
+
+type RawGemmKernel = unsafe fn(&[f32], &[bool], &[f32], &mut [f32], PanelGeom);
+
+/// A resolved GEMM micro-kernel: one invocation per packed panel over
+/// `(a, row_zero, panel, out, geom)`. Obtainable only from
+/// [`gemm_kernel`], which keeps the safety invariant that the selected
+/// implementation never exceeds the detected CPU features — so calling it
+/// is safe.
+#[derive(Clone, Copy)]
+pub struct GemmKernel(RawGemmKernel);
+
+impl GemmKernel {
+    /// Runs the micro-kernel over one packed panel.
+    #[inline]
+    pub fn call(self, a: &[f32], row_zero: &[bool], panel: &[f32], out: &mut [f32], g: PanelGeom) {
+        // SAFETY: `gemm_kernel` (the only constructor) selects
+        // feature-gated wrappers strictly within `detected()`, so the
+        // required CPU features are present; the bodies themselves are
+        // bounds-checked safe Rust.
+        unsafe { (self.0)(a, row_zero, panel, out, g) }
+    }
+}
+
+fn gemm_panel_scalar(a: &[f32], rz: &[bool], p: &[f32], out: &mut [f32], g: PanelGeom) {
+    gemm_panel_body::<ScalarBlock, false>(a, rz, p, out, g);
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86_kernels {
+    use super::*;
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn sse2(a: &[f32], rz: &[bool], p: &[f32], out: &mut [f32], g: PanelGeom) {
+        gemm_panel_body::<x86_gemm::Sse2Block, false>(a, rz, p, out, g);
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn avx2(a: &[f32], rz: &[bool], p: &[f32], out: &mut [f32], g: PanelGeom) {
+        gemm_panel_body::<x86_gemm::Avx2Block, false>(a, rz, p, out, g);
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn avx2_fma(
+        a: &[f32],
+        rz: &[bool],
+        p: &[f32],
+        out: &mut [f32],
+        g: PanelGeom,
+    ) {
+        gemm_panel_body::<x86_gemm::Avx2Block, true>(a, rz, p, out, g);
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn avx512(a: &[f32], rz: &[bool], p: &[f32], out: &mut [f32], g: PanelGeom) {
+        gemm_panel_body::<x86_gemm::Avx512Block, false>(a, rz, p, out, g);
+    }
+
+    #[target_feature(enable = "avx512f")]
+    pub(super) unsafe fn avx512_fma(
+        a: &[f32],
+        rz: &[bool],
+        p: &[f32],
+        out: &mut [f32],
+        g: PanelGeom,
+    ) {
+        gemm_panel_body::<x86_gemm::Avx512Block, true>(a, rz, p, out, g);
+    }
+}
+
+/// Selects the GEMM micro-kernel for the active level (and FMA mode).
+/// Resolve once per GEMM call, not per panel.
+pub fn gemm_kernel() -> GemmKernel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let fma = fma_mode();
+        match level() {
+            Level::Avx512 if fma => return GemmKernel(x86_kernels::avx512_fma),
+            Level::Avx512 => return GemmKernel(x86_kernels::avx512),
+            Level::Avx2 if fma => return GemmKernel(x86_kernels::avx2_fma),
+            Level::Avx2 => return GemmKernel(x86_kernels::avx2),
+            Level::Sse2 => return GemmKernel(x86_kernels::sse2),
+            Level::Scalar => {}
+        }
+    }
+    GemmKernel(gemm_panel_scalar as RawGemmKernel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parses_and_round_trips() {
+        for l in [Level::Scalar, Level::Sse2, Level::Avx2, Level::Avx512] {
+            assert_eq!(l.name().parse::<Level>().unwrap(), l);
+        }
+        assert_eq!(" AVX2 ".parse::<Level>().unwrap(), Level::Avx2);
+        assert!("garbage".parse::<Level>().is_err());
+        assert!("".parse::<Level>().is_err());
+    }
+
+    #[test]
+    fn available_levels_start_scalar_end_detected() {
+        let levels = available_levels();
+        assert_eq!(levels.first(), Some(&Level::Scalar));
+        assert_eq!(levels.last(), Some(&detected()));
+        assert!(levels.windows(2).all(|w| w[0] < w[1]), "must be ascending");
+    }
+
+    #[test]
+    fn set_level_clamps_to_detected() {
+        let prev = level();
+        let eff = set_level(Level::Avx512);
+        assert!(eff <= detected());
+        assert_eq!(level(), eff);
+        set_level(prev);
+    }
+
+    #[test]
+    fn fma_mode_requires_hardware_fma() {
+        let (prev_level, prev_fma) = (level(), fma_mode());
+        set_level(Level::Scalar);
+        assert!(!set_fma(true), "scalar level must never report FMA");
+        set_level(prev_level);
+        set_fma(prev_fma);
+    }
+
+    #[test]
+    fn row_ops_match_sequential_for_short_rows() {
+        // Rows shorter than one lane group reduce to the plain sequential
+        // fold, whatever the level.
+        let xs = [1.5f32, -2.25, 0.5];
+        assert_eq!(row_sum(&xs).to_bits(), (1.5f32 + -2.25 + 0.5).to_bits());
+        assert_eq!(row_max(&xs), 1.5);
+        assert_eq!(
+            dot(&xs, &xs).to_bits(),
+            xs.iter().map(|v| v * v).sum::<f32>().to_bits()
+        );
+    }
+}

@@ -1,0 +1,57 @@
+//! Zero-alloc steady-state guarantee for GEMM panel packing.
+//!
+//! After a warmup call grows this thread's workspace to its high-water
+//! size, every further GEMM must (a) bump `tensor.gemm.pack_reuse` once
+//! per packed call, (b) leave `tensor.gemm.pack_bytes` flat, and (c)
+//! perform no tensor-buffer allocations beyond the unavoidable output
+//! buffer. Run in its own test binary so the obs mode flip cannot race
+//! other tests.
+
+use ist_tensor::rng::{uniform, SeedRng, SeedRngExt as _};
+use ist_tensor::{matmul, mem};
+
+#[test]
+fn steady_state_gemm_packs_without_allocating() {
+    ist_obs::set_mode(ist_obs::Mode::Collect);
+
+    let mut rng = SeedRng::seed(71);
+    let a = uniform(&[96, 200], -1.0, 1.0, &mut rng);
+    let b = uniform(&[200, 96], -1.0, 1.0, &mut rng);
+
+    // Warmup: grows the packing workspace (and the output scratch) to
+    // their high-water sizes.
+    let _ = matmul::matmul(&a, &b);
+    let (reuse0, bytes0) = matmul::pack_counters();
+    assert!(
+        bytes0 > 0,
+        "warmup must have grown the packing workspace (got pack_bytes=0 — \
+         is the counter wired up?)"
+    );
+
+    let iters = 10u64;
+    for _ in 0..iters {
+        let _ = matmul::matmul(&a, &b);
+    }
+    let (reuse1, bytes1) = matmul::pack_counters();
+
+    assert_eq!(
+        bytes1, bytes0,
+        "steady-state GEMM grew the packing workspace: pack_bytes {bytes0} -> {bytes1}"
+    );
+    assert!(
+        reuse1 >= reuse0 + iters,
+        "each steady-state GEMM must reuse the workspace: pack_reuse {reuse0} -> {reuse1} \
+         over {iters} calls"
+    );
+
+    // Tensor-level accounting: each matmul allocates exactly its output
+    // buffer, nothing panel-shaped. `alloc_bytes` counts output-buffer
+    // volume; the live/peak gauges must not creep across iterations.
+    let peak_before = mem::peak_bytes();
+    let out = matmul::matmul(&a, &b);
+    drop(out);
+    assert!(
+        mem::peak_bytes() <= peak_before.max(mem::live_bytes() + 4 * 96 * 96),
+        "a steady-state matmul allocated more than its output buffer"
+    );
+}

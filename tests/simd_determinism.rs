@@ -1,0 +1,68 @@
+//! End-to-end SIMD determinism: a seed-pinned training run must produce a
+//! bitwise-identical loss stream — and identical downstream scores — no
+//! matter which SIMD dispatch level executes it. This is the whole-pipeline
+//! counterpart to `crates/tensor/tests/simd_equivalence.rs`: it exercises
+//! the real model (embedding GEMMs, attention softmax, Adam updates)
+//! rather than isolated kernels, so a divergence anywhere in the dispatch
+//! layer shows up as a flipped loss bit here.
+//!
+//! Own test binary: it flips the process-global dispatch level, which must
+//! not race other tests.
+
+use isrec_suite::data::{IntentWorld, LeaveOneOut, WorldConfig};
+use isrec_suite::isrec::{Isrec, IsrecConfig, SequentialRecommender, TrainConfig};
+use ist_tensor::simd;
+
+#[test]
+fn training_losses_and_scores_are_bitwise_identical_across_dispatch_levels() {
+    let ds = IntentWorld::new(WorldConfig::steam_like().scaled(0.08)).generate(11);
+    let split = LeaveOneOut::split(&ds.sequences);
+    let cfg = IsrecConfig {
+        d: 24,
+        max_len: 12,
+        layers: 1,
+        ..Default::default()
+    };
+    let train = TrainConfig {
+        epochs: 2,
+        lr: 5e-3,
+        batch_size: 32,
+        ..Default::default()
+    };
+    let hist = split.test_history(split.test_users()[0]);
+    let cands: Vec<usize> = (0..ds.num_items.min(40)).collect();
+
+    let run = |level: simd::Level| {
+        let prev = simd::set_level(level);
+        assert_eq!(simd::level(), level, "host must support {level}");
+        let mut model = Isrec::new(&ds, cfg.clone(), 7);
+        let report = model.fit(&ds, &split, &train);
+        let scores = model.score(&hist, &cands);
+        simd::set_level(prev);
+        (
+            report
+                .epoch_losses
+                .iter()
+                .map(|l| l.to_bits())
+                .collect::<Vec<_>>(),
+            scores.iter().map(|s| s.to_bits()).collect::<Vec<_>>(),
+        )
+    };
+
+    let (scalar_losses, scalar_scores) = run(simd::Level::Scalar);
+    for level in simd::available_levels() {
+        if level == simd::Level::Scalar {
+            continue;
+        }
+        let (losses, scores) = run(level);
+        assert_eq!(
+            losses, scalar_losses,
+            "{level} training diverged from scalar: the loss stream must be \
+             bitwise identical"
+        );
+        assert_eq!(
+            scores, scalar_scores,
+            "{level} serving scores diverged from scalar"
+        );
+    }
+}
